@@ -1,0 +1,19 @@
+.PHONY: all test bench examples clean quick-bench
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+quick-bench:
+	dune exec bench/main.exe -- --quick
+
+examples:
+	dune build @examples
+
+clean:
+	dune clean

@@ -1,0 +1,392 @@
+(* hipec: the command-line front end.
+
+     hipec translate FILE        translate pseudo-code to HiPEC commands
+     hipec check FILE            static security validation only
+     hipec run-join ...          the Figure 6 join experiment
+     hipec run-aim ...           the Figure 5 throughput experiment
+     hipec table3 / table4      the section 5.1 measurements
+     hipec trace ...             replay a synthetic trace under a policy *)
+
+open Cmdliner
+open Hipec_core
+open Hipec_vm
+open Hipec_workloads
+module T = Hipec_sim.Sim_time
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* translate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let translate_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Pseudo-code source.")
+  in
+  let run file =
+    match Hipec_pseudoc.Translate.translate (read_file file) with
+    | Error e ->
+        Printf.eprintf "translation failed: %s\n" e;
+        1
+    | Ok out ->
+        print_string (Hipec_pseudoc.Translate.listing out);
+        Printf.printf ";; %d commands across %d events; %d user operand slots\n"
+          (Program.total_commands out.Hipec_pseudoc.Codegen.program)
+          (List.length (Program.events out.Hipec_pseudoc.Codegen.program))
+          (List.length out.Hipec_pseudoc.Codegen.extra_operands);
+        0
+  in
+  Cmd.v
+    (Cmd.info "translate" ~doc:"Translate a pseudo-code policy to HiPEC commands.")
+    Term.(const run $ file)
+
+let check_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Pseudo-code source.")
+  in
+  let run file =
+    match Hipec_pseudoc.Translate.translate (read_file file) with
+    | Error e ->
+        Printf.eprintf "rejected: %s\n" e;
+        1
+    | Ok out -> (
+        let ops = Operand.create () in
+        let _ =
+          Operand.install_std ops ~name:"check" ~free_target:4 ~inactive_target:8
+            ~reserved_target:2
+        in
+        List.iter
+          (fun (ix, v) -> Operand.set ops ix v)
+          out.Hipec_pseudoc.Codegen.extra_operands;
+        match Checker.validate out.Hipec_pseudoc.Codegen.program ops with
+        | Ok () ->
+            print_endline "policy accepted by the security checker";
+            (match Checker.Lint.run out.Hipec_pseudoc.Codegen.program with
+            | [] -> ()
+            | warnings ->
+                List.iter
+                  (fun w ->
+                    Format.printf "warning: %a@." Checker.Lint.pp_warning w)
+                  warnings);
+            0
+        | Error e ->
+            Printf.eprintf "security checker rejected: %s\n" e;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Run the security checker's static validation on a policy.")
+    Term.(const run $ file)
+
+let assemble_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Pseudo-code source.")
+  in
+  let output =
+    Arg.(required & opt (some string) None
+        & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Binary command-buffer output path.")
+  in
+  let run file output =
+    match Hipec_pseudoc.Translate.translate (read_file file) with
+    | Error e ->
+        Printf.eprintf "translation failed: %s\n" e;
+        1
+    | Ok out ->
+        let bytes = Program.to_bytes out.Hipec_pseudoc.Codegen.program in
+        let oc = open_out_bin output in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_bytes oc bytes);
+        Printf.printf "wrote %d bytes (%d commands) to %s\n" (Bytes.length bytes)
+          (Program.total_commands out.Hipec_pseudoc.Codegen.program)
+          output;
+        0
+  in
+  Cmd.v
+    (Cmd.info "assemble" ~doc:"Translate pseudo-code and write the binary command buffer.")
+    Term.(const run $ file $ output)
+
+let disassemble_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+        & info [] ~docv:"FILE" ~doc:"Binary command buffer.")
+  in
+  let run file =
+    match Program.of_bytes (Bytes.of_string (read_file file)) with
+    | Error e ->
+        Printf.eprintf "not a valid command buffer: %s\n" e;
+        1
+    | Ok program ->
+        Format.printf "%a" Program.pp program;
+        0
+  in
+  Cmd.v
+    (Cmd.info "disassemble" ~doc:"Print a Table 2-style listing of a binary command buffer.")
+    Term.(const run $ file)
+
+let advise_cmd =
+  let pattern =
+    Arg.(value & opt string "cyclic"
+        & info [ "pattern" ] ~docv:"P" ~doc:"cyclic|sequential|random|zipf|phased.")
+  in
+  let npages = Arg.(value & opt int 256 & info [ "pages" ] ~docv:"N" ~doc:"Region pages.") in
+  let frames = Arg.(value & opt int 64 & info [ "frames" ] ~docv:"N" ~doc:"Frame budget.") in
+  let count = Arg.(value & opt int 4096 & info [ "count" ] ~docv:"N" ~doc:"Accesses.") in
+  let run pattern npages frames count =
+    let rng = Hipec_sim.Rng.create ~seed:23 in
+    let trace =
+      match pattern with
+      | "cyclic" -> Access_trace.cyclic ~npages ~loops:(max 1 (count / npages)) ~write:false
+      | "sequential" -> Access_trace.sequential ~npages ~write:false
+      | "random" -> Access_trace.uniform_random rng ~npages ~count ~write_ratio:0.3
+      | "zipf" -> Access_trace.zipf rng ~npages ~count ~theta:0.99 ~write_ratio:0.3
+      | "phased" ->
+          Access_trace.working_set_phases rng ~npages ~phases:6 ~phase_len:(count / 6)
+            ~ws_pages:(max 1 (frames / 2))
+      | p ->
+          Printf.eprintf "unknown pattern %S\n" p;
+          exit 2
+    in
+    Printf.printf "offline replacement simulation: %d pages, %d frames, %d accesses\n\n"
+      npages frames (Array.length trace);
+    List.iter
+      (fun (policy, faults) ->
+        Printf.printf "  %-6s %8d faults%s\n"
+          (Policy_sim.policy_name policy)
+          faults
+          (if policy = Policy_sim.Opt then "  (offline optimal, unachievable)" else ""))
+      (Policy_sim.sweep ~frames trace);
+    Printf.printf "\nrecommended HiPEC policy: %s\n"
+      (Policy_sim.policy_name (Policy_sim.advise ~frames trace));
+    0
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:"Simulate classic policies offline on a trace and recommend one.")
+    Term.(const run $ pattern $ npages $ frames $ count)
+
+(* ------------------------------------------------------------------ *)
+(* run-join                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let policy_conv =
+  let parse = function
+    | "default" -> Ok Join.Kernel_default
+    | "mru" -> Ok Join.Hipec_mru
+    | "lru" -> Ok Join.Hipec_lru
+    | "fifo" -> Ok Join.Hipec_fifo
+    | s -> Error (`Msg (Printf.sprintf "unknown policy %S (default|mru|lru|fifo)" s))
+  in
+  let print fmt p =
+    Format.pp_print_string fmt
+      (match p with
+      | Join.Kernel_default -> "default"
+      | Join.Hipec_mru -> "mru"
+      | Join.Hipec_lru -> "lru"
+      | Join.Hipec_fifo -> "fifo"
+      | Join.Hipec_custom _ -> "custom")
+  in
+  Arg.conv (parse, print)
+
+let join_cmd =
+  let outer =
+    Arg.(value & opt int 60 & info [ "outer" ] ~docv:"MB" ~doc:"Outer table size in MB.")
+  in
+  let memory =
+    Arg.(value & opt int 40 & info [ "memory" ] ~docv:"MB" ~doc:"Managed memory (MSize).")
+  in
+  let policy =
+    Arg.(value & opt policy_conv Join.Hipec_mru
+        & info [ "policy" ] ~docv:"POLICY" ~doc:"default|mru|lru|fifo.")
+  in
+  let scans =
+    Arg.(value & opt int 64 & info [ "scans" ] ~docv:"N" ~doc:"Outer-table scans (Loop).")
+  in
+  let run outer memory policy scans =
+    let c =
+      {
+        Join.default_config with
+        Join.outer_mb = outer;
+        memory_mb = memory;
+        inner_bytes = scans * 64;
+      }
+    in
+    let r = Join.run policy c in
+    Printf.printf "join: outer=%dMB memory=%dMB scans=%d\n" outer memory (Join.loops c);
+    Printf.printf "  elapsed        %10.2f min\n" (T.to_min_f r.Join.elapsed);
+    Printf.printf "  faults         %10d (analytic LRU %d, MRU %d)\n" r.Join.faults
+      (Join.predicted_faults `Lru c)
+      (Join.predicted_faults `Mru c);
+    Printf.printf "  pageins        %10d\n" r.Join.pageins;
+    Printf.printf "  output tuples  %10d\n" r.Join.output_tuples;
+    0
+  in
+  Cmd.v
+    (Cmd.info "run-join" ~doc:"Run the nested-loop join of the paper's section 5.3.")
+    Term.(const run $ outer $ memory $ policy $ scans)
+
+(* ------------------------------------------------------------------ *)
+(* run-aim                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let aim_cmd =
+  let users = Arg.(value & opt int 6 & info [ "users" ] ~docv:"N" ~doc:"Concurrent users.") in
+  let mix =
+    let mix_conv =
+      Arg.conv
+        ( (function
+          | "standard" -> Ok Aim.Standard
+          | "disk" -> Ok Aim.Disk_heavy
+          | "memory" -> Ok Aim.Memory_heavy
+          | s -> Error (`Msg (Printf.sprintf "unknown mix %S" s))),
+          fun fmt m -> Format.pp_print_string fmt (Aim.mix_name m) )
+    in
+    Arg.(value & opt mix_conv Aim.Standard
+        & info [ "mix" ] ~docv:"MIX" ~doc:"standard|disk|memory.")
+  in
+  let seconds =
+    Arg.(value & opt int 60 & info [ "seconds" ] ~docv:"S" ~doc:"Simulated duration.")
+  in
+  let hipec = Arg.(value & flag & info [ "hipec" ] ~doc:"Run on the HiPEC kernel.") in
+  let run users mix seconds hipec =
+    let cfg =
+      { Aim.default_config with Aim.users; mix; duration = T.sec seconds;
+        hipec_kernel = hipec }
+    in
+    let r = Aim.run cfg in
+    Printf.printf "aim: users=%d mix=%s kernel=%s\n" users (Aim.mix_name mix)
+      (if hipec then "HiPEC" else "Mach");
+    Printf.printf "  jobs completed  %8d (%.1f jobs/min)\n" r.Aim.jobs_completed
+      r.Aim.jobs_per_minute;
+    Printf.printf "  faults          %8d  pageouts %d\n" r.Aim.faults r.Aim.pageouts;
+    Printf.printf "  cpu busy        %8.1f s  disk busy %.1f s\n" (T.to_sec_f r.Aim.cpu_busy)
+      (T.to_sec_f r.Aim.disk_busy);
+    0
+  in
+  Cmd.v
+    (Cmd.info "run-aim" ~doc:"Run the AIM-style throughput benchmark of section 5.2.")
+    Term.(const run $ users $ mix $ seconds $ hipec)
+
+(* ------------------------------------------------------------------ *)
+(* table3 / table4                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let table3_cmd =
+  let pages =
+    Arg.(value & opt int 10_240 & info [ "pages" ] ~docv:"N" ~doc:"Pages to fault (10240 = 40 MB).")
+  in
+  let run pages =
+    List.iter
+      (fun with_disk_io ->
+        let mach = Driver.table3_run ~pages Driver.Mach ~with_disk_io in
+        let hipec = Driver.table3_run ~pages Driver.Hipec ~with_disk_io in
+        Printf.printf "%s disk I/O: Mach %.1f ms, HiPEC %.1f ms, overhead %.3f%%\n"
+          (if with_disk_io then "with" else "without")
+          (T.to_ms_f mach.Driver.elapsed) (T.to_ms_f hipec.Driver.elapsed)
+          (Driver.overhead_percent ~baseline:mach ~subject:hipec))
+      [ false; true ];
+    0
+  in
+  Cmd.v (Cmd.info "table3" ~doc:"Reproduce Table 3.") Term.(const run $ pages)
+
+let table4_cmd =
+  let run () =
+    let t4 = Driver.table4_run () in
+    Printf.printf "null syscall %.0f us, null IPC %.0f us, HiPEC fast path %d ns (%d commands)\n"
+      (T.to_us_f t4.Driver.null_syscall) (T.to_us_f t4.Driver.null_ipc)
+      (T.to_ns t4.Driver.hipec_fast_path) t4.Driver.fast_path_commands;
+    0
+  in
+  Cmd.v (Cmd.info "table4" ~doc:"Reproduce Table 4.") Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let pattern =
+    Arg.(value & opt string "cyclic"
+        & info [ "pattern" ] ~docv:"P" ~doc:"cyclic|sequential|random|zipf.")
+  in
+  let npages = Arg.(value & opt int 256 & info [ "pages" ] ~docv:"N" ~doc:"Region pages.") in
+  let frames =
+    Arg.(value & opt int 128 & info [ "frames" ] ~docv:"N" ~doc:"Private frames (minFrame).")
+  in
+  let policy_file =
+    Arg.(value & opt (some file) None
+        & info [ "policy" ] ~docv:"FILE" ~doc:"Pseudo-code policy (default: built-in MRU).")
+  in
+  let count = Arg.(value & opt int 4096 & info [ "count" ] ~docv:"N" ~doc:"Accesses.") in
+  let run pattern npages frames policy_file count =
+    let rng = Hipec_sim.Rng.create ~seed:17 in
+    let trace =
+      match pattern with
+      | "cyclic" ->
+          Access_trace.cyclic ~npages ~loops:(max 1 (count / npages)) ~write:false
+      | "sequential" -> Access_trace.sequential ~npages ~write:false
+      | "random" -> Access_trace.uniform_random rng ~npages ~count ~write_ratio:0.3
+      | "zipf" -> Access_trace.zipf rng ~npages ~count ~theta:0.99 ~write_ratio:0.3
+      | p ->
+          Printf.eprintf "unknown pattern %S\n" p;
+          exit 2
+    in
+    let spec =
+      match policy_file with
+      | None -> Ok (Api.default_spec ~policy:(Policies.mru ()) ~min_frames:frames)
+      | Some f -> Hipec_pseudoc.Translate.to_spec (read_file f) ~min_frames:frames
+    in
+    match spec with
+    | Error e ->
+        Printf.eprintf "policy: %s\n" e;
+        1
+    | Ok spec -> (
+        let config = { Kernel.default_config with Kernel.hipec_kernel = true } in
+        let k = Kernel.create ~config () in
+        let sys = Api.init k in
+        let task = Kernel.create_task k () in
+        match Api.vm_allocate_hipec sys task ~npages spec with
+        | Error e ->
+            Printf.eprintf "vm_allocate_hipec: %s\n" e;
+            1
+        | Ok (region, container) ->
+            let t0 = Kernel.now k in
+            let faults = Access_trace.faults_during k task region trace in
+            Printf.printf
+              "replayed %d accesses: %d faults (%.1f%%), %s elapsed, %d commands interpreted\n"
+              (Array.length trace) faults
+              (100. *. float_of_int faults /. float_of_int (Array.length trace))
+              (Format.asprintf "%a" T.pp (T.sub (Kernel.now k) t0))
+              (Container.commands_interpreted container);
+            print_endline (Kstat.to_string k);
+            0)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Replay a synthetic access trace under a HiPEC policy.")
+    Term.(const run $ pattern $ npages $ frames $ policy_file $ count)
+
+let () =
+  (* HIPEC_LOG=debug|info|warning|error turns on kernel/manager/checker
+     logging through the Logs reporter *)
+  (match Sys.getenv_opt "HIPEC_LOG" with
+  | Some level ->
+      Logs.set_reporter (Logs_fmt.reporter ());
+      Logs.set_level
+        (match Logs.level_of_string level with Ok l -> l | Error _ -> Some Logs.Info)
+  | None -> ());
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "hipec" ~version:"1.0.0"
+      ~doc:
+        "HiPEC: high performance external virtual memory caching (OSDI '94), simulated. \
+         Set HIPEC_LOG=debug for kernel logging."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [
+            translate_cmd; check_cmd; assemble_cmd; disassemble_cmd; advise_cmd; join_cmd;
+            aim_cmd; table3_cmd; table4_cmd; trace_cmd;
+          ]))

@@ -1,0 +1,87 @@
+(* The database the paper's conclusion promises: a mini DBMS whose
+   storage layer picks its page-replacement policy per access path
+   through HiPEC — MRU for the nested-loop join's cyclic scans, LRU for
+   B+-tree point lookups.
+
+     dune exec examples/minidb_demo.exe *)
+
+open Hipec_minidb
+module T = Hipec_sim.Sim_time
+module Rng = Hipec_sim.Rng
+
+let () =
+  let db = Db.create ~frames:8_192 () in
+  let rng = Rng.create ~seed:21 in
+
+  (* orders: 256 KB (64 pages), more than its 32-page buffer *)
+  let orders_keys = Array.init 4_096 (fun i -> i) in
+  let orders =
+    Heap_table.create db ~name:"orders" ~buffer_pages:32 ~keys:orders_keys ()
+  in
+  (* customers: a small table we join against *)
+  let customers = Heap_table.create db ~name:"customers" ~keys:(Array.init 8 (fun i -> i * 512)) () in
+  (* a primary-key index over orders *)
+  let orders_pk = Btree.create db ~name:"orders_pk" ~order:32 ~capacity_pages:512 ~buffer_pages:300 () in
+  Array.iteri (fun row key -> Btree.insert orders_pk ~key ~row) orders_keys;
+
+  Printf.printf "tables: orders (%d rows, %d pages, %d-page buffer), customers (%d rows)\n"
+    (Heap_table.row_count orders) (Heap_table.pages orders) (Heap_table.buffer_pages orders)
+    (Heap_table.row_count customers);
+  Printf.printf "index:  orders_pk (%d nodes, height %d)\n\n" (Btree.node_count orders_pk)
+    (Btree.height orders_pk);
+
+  (* query 1: the nested-loop join, under each policy *)
+  Printf.printf "Q1: SELECT count(*) FROM customers c, orders o WHERE o.key = c.key\n";
+  List.iter
+    (fun policy ->
+      let matches, stats =
+        Query.with_table_policy orders policy (fun () ->
+            Query.nested_loop_join db ~outer:orders ~inner:customers)
+      in
+      Printf.printf "  orders under %-13s  %8.1f ms  %6d faults  (%d matches)\n"
+        (Db.policy_name policy)
+        (T.to_ms_f stats.Query.elapsed)
+        stats.Query.faults matches)
+    [ Db.Second_chance; Db.Mru ];
+
+  (* the algorithmic alternative: a hash join reads each table once, so
+     the replacement policy stops mattering — HiPEC is for the cases
+     where you cannot (or will not) change the algorithm *)
+  let matches, stats = Query.hash_join db ~outer:orders ~inner:customers in
+  Printf.printf "  (hash join, any policy)      %8.1f ms  %6d faults  (%d matches)\n"
+    (T.to_ms_f stats.Query.elapsed)
+    stats.Query.faults matches;
+
+  (* query 2: Zipf-skewed point lookups — popularity spread across the
+     whole table, so retaining re-referenced pages (LRU) pays and
+     evicting them (MRU) refaults the favourites *)
+  let probe_keys =
+    Array.map
+      (fun a -> a.Hipec_workloads.Access_trace.page)
+      (Hipec_workloads.Access_trace.zipf rng ~npages:4_096 ~count:4_000 ~theta:0.8
+         ~write_ratio:0.)
+  in
+  Printf.printf "\nQ2: 4000 Zipf-skewed point lookups via orders_pk\n";
+  List.iter
+    (fun policy ->
+      let hits, stats =
+        Query.with_table_policy orders policy (fun () ->
+            Query.index_lookups db orders_pk orders ~keys:probe_keys)
+      in
+      Printf.printf "  orders under %-13s  %8.1f ms  %6d faults  (%d hits)\n"
+        (Db.policy_name policy)
+        (T.to_ms_f stats.Query.elapsed)
+        stats.Query.faults hits)
+    [ Db.Mru; Db.Lru ];
+
+  (* query 3: selection scan *)
+  let count, stats = Query.select_count db orders ~pred:(fun k -> k mod 7 = 0) in
+  Printf.printf "\nQ3: SELECT count(*) FROM orders WHERE key %% 7 = 0\n";
+  Printf.printf "  full scan                  %8.1f ms  %6d faults  (%d rows)\n"
+    (T.to_ms_f stats.Query.elapsed)
+    stats.Query.faults count;
+
+  Printf.printf
+    "\nthe planner's choice is per access path: MRU wins the cyclic join scans,\n\
+     LRU wins the skewed lookups -- one fixed kernel policy cannot do both,\n\
+     which is why the paper ends by promising exactly this database.\n"

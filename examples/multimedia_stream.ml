@@ -1,0 +1,85 @@
+(* The multimedia scenario from the paper's introduction: a media
+   server streams a large file once, sequentially.  Under the default
+   kernel the stream's pages pile up in memory (they will never be
+   re-read) and push out everyone else's working set.  With HiPEC the
+   server installs a "free-behind" policy: consumed pages go straight
+   back, so the stream runs in a small, constant footprint.
+
+     dune exec examples/multimedia_stream.exe *)
+
+open Hipec_core
+open Hipec_vm
+module T = Hipec_sim.Sim_time
+
+(* Free-behind: recycle the page we just finished before asking for
+   anything else; footprint stays at minFrame forever. *)
+let free_behind =
+  {|
+var one = 1
+
+event PageFault() {
+  if (empty(_free_queue)) {
+    /* the stream never re-reads: drop the oldest page */
+    fifo(_active_queue)
+  }
+  page = dequeue_head(_free_queue)
+  return page
+}
+
+event ReclaimFrame() {
+  while (_reclaim_target > 0) {
+    if (empty(_free_queue)) {
+      fifo(_active_queue)
+    }
+    release(one)
+    _reclaim_target = _reclaim_target - 1
+  }
+}
+|}
+
+let stream_pages = 4_096 (* a 16 MB media file *)
+
+let run_with_hipec () =
+  let config = { Kernel.default_config with Kernel.hipec_kernel = true } in
+  let kernel = Kernel.create ~config () in
+  let hipec = Api.init kernel in
+  let task = Kernel.create_task kernel ~name:"media-server" () in
+  let spec =
+    match Hipec_pseudoc.Translate.to_spec free_behind ~min_frames:32 with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  match Api.vm_map_hipec hipec task ~name:"video.mpg" ~npages:stream_pages spec with
+  | Error e -> failwith e
+  | Ok (region, container) ->
+      let t0 = Kernel.now kernel in
+      Kernel.touch_region kernel task region ~write:false;
+      let elapsed = T.sub (Kernel.now kernel) t0 in
+      (elapsed, Task.faults task, Container.frames_held container)
+
+let run_with_default () =
+  let kernel = Kernel.create () in
+  let task = Kernel.create_task kernel ~name:"media-server" () in
+  let region = Kernel.vm_map_file kernel task ~name:"video.mpg" ~npages:stream_pages () in
+  let t0 = Kernel.now kernel in
+  Kernel.touch_region kernel task region ~write:false;
+  let elapsed = T.sub (Kernel.now kernel) t0 in
+  let resident = Vm_object.resident_count region.Vm_map.obj in
+  (elapsed, Task.faults task, resident)
+
+let () =
+  Printf.printf "streaming a %d-page (16 MB) file once, sequentially\n\n" stream_pages;
+  let d_elapsed, d_faults, d_resident = run_with_default () in
+  let h_elapsed, h_faults, h_frames = run_with_hipec () in
+  Printf.printf "  %-22s %14s %10s %18s\n" "" "elapsed" "faults" "memory footprint";
+  Printf.printf "  %-22s %14s %10d %14d pages\n" "default kernel"
+    (Format.asprintf "%a" T.pp d_elapsed)
+    d_faults d_resident;
+  Printf.printf "  %-22s %14s %10d %14d pages\n" "HiPEC free-behind"
+    (Format.asprintf "%a" T.pp h_elapsed)
+    h_faults h_frames;
+  Printf.printf
+    "\nsame streaming time and fault count, but the HiPEC server holds %d pages\n\
+     instead of %d -- the rest of memory stays available to other applications,\n\
+     which is exactly the interference problem the paper's section 1 describes.\n"
+    h_frames d_resident

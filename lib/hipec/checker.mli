@@ -1,0 +1,87 @@
+(** The in-kernel security checker (paper §4.3.3).
+
+    Two duties:
+
+    - {b Static validation} at [vm_map_hipec] time: every command in the
+      policy buffer must be well-formed — known opcode, operand indices
+      of the right kind, jump targets in range, activated events
+      defined, mandatory events present, no control path that runs off
+      the end of an event, and every test command immediately followed
+      by its else-branch [Jump] (the skip-next discipline of Table 2).
+
+    - {b Timeout detection}: a kernel thread that wakes periodically,
+      scans every container's execution timestamp, and terminates
+      applications whose policy has been executing longer than the
+      [TimeOut] period.  Its sleep interval adapts — halved when a
+      timeout is found, doubled otherwise — clamped to [250 ms, 8 s]
+      (the paper's WakeUp equation). *)
+
+open Hipec_sim
+
+(** {1 Static validation} *)
+
+val validate : Program.t -> Operand.t -> (unit, string) result
+(** Check every event's code against the operand array's declared
+    kinds.  This is what makes loading a hostile buffer safe: the
+    executor only ever runs validated programs. *)
+
+(** Advisory analyses beyond the paper's current checker (its §6 calls
+    for "detecting malicious actions or mistakes"); none of these block
+    loading, since a human-off policy may be deliberate. *)
+module Lint : sig
+  type warning = {
+    event : int;
+    cc : int option;  (** anchor command, when one exists *)
+    message : string;
+  }
+
+  val reachable : Instr.t array -> bool array
+  (** Which commands control can reach from CC 0, under skip-next
+      semantics (also used by the pseudo-code compiler to trim its
+      safety epilogue). *)
+
+  val run : Program.t -> warning list
+  (** Currently detected: trivially infinite self-jumps, code
+      unreachable from an event's entry, user events no event ever
+      activates, and [Request] issued from inside [ReclaimFrame] (the
+      manager is reclaiming — asking it for more memory at best fails
+      and at worst thrashes). *)
+
+  val pp_warning : Format.formatter -> warning -> unit
+end
+
+(** {1 The checker thread} *)
+
+type t
+
+val create :
+  ?timeout:Sim_time.t ->
+  ?initial_wakeup:Sim_time.t ->
+  kernel:Hipec_vm.Kernel.t ->
+  manager:Frame_manager.t ->
+  unit ->
+  t
+(** [timeout] (default 100 ms of policy execution) is the [TimeOut]
+    period, set by a privileged user in the paper.  [initial_wakeup]
+    defaults to 1 s. *)
+
+val start : t -> unit
+(** Schedule the periodic scan on the kernel's engine. *)
+
+val stop : t -> unit
+
+val scan_now : t -> int
+(** One synchronous sweep (also what the periodic wakeup runs); returns
+    the number of policies killed. *)
+
+val wakeup_interval : t -> Sim_time.t
+(** Current adaptive sleep interval. *)
+
+val min_wakeup : Sim_time.t
+(** 250 ms. *)
+
+val max_wakeup : Sim_time.t
+(** 8 s. *)
+
+val timeouts_detected : t -> int
+val scans : t -> int

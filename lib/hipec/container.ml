@@ -1,0 +1,70 @@
+open Hipec_sim
+open Hipec_vm
+
+type t = {
+  id : int;
+  task : Task.t;
+  obj : Vm_object.t;
+  region : Vm_map.region;
+  program : Program.t;
+  operands : Operand.t;
+  queues : Operand.std_queues;
+  min_frames : int;
+  mutable frames_held : int;
+  mutable execution_started : Sim_time.t option;
+  mutable timed_out : bool;
+  mutable events_run : int;
+  mutable commands_interpreted : int;
+}
+
+let next_id = ref 0
+
+let create ~task ~obj ~region ~program ~operands ~queues ~min_frames () =
+  incr next_id;
+  {
+    id = !next_id;
+    task;
+    obj;
+    region;
+    program;
+    operands;
+    queues;
+    min_frames;
+    frames_held = 0;
+    execution_started = None;
+    timed_out = false;
+    events_run = 0;
+    commands_interpreted = 0;
+  }
+
+let id t = t.id
+let task t = t.task
+let obj t = t.obj
+let region t = t.region
+let program t = t.program
+let operands t = t.operands
+let free_queue t = t.queues.Operand.free
+let active_queue t = t.queues.Operand.active
+let inactive_queue t = t.queues.Operand.inactive
+let min_frames t = t.min_frames
+let frames_held t = t.frames_held
+let add_frames t n = t.frames_held <- t.frames_held + n
+
+let remove_frames t n =
+  if n > t.frames_held then invalid_arg "Container.remove_frames: negative balance";
+  t.frames_held <- t.frames_held - n
+
+let resident_pages t = Vm_object.resident_count t.obj
+let execution_started t = t.execution_started
+let set_execution_started t v = t.execution_started <- v
+let timed_out t = t.timed_out
+let set_timed_out t = t.timed_out <- true
+let events_run t = t.events_run
+let count_event_run t = t.events_run <- t.events_run + 1
+let commands_interpreted t = t.commands_interpreted
+let count_commands t n = t.commands_interpreted <- t.commands_interpreted + n
+
+let pp fmt t =
+  Format.fprintf fmt "container#%d(task=%s,frames=%d,min=%d%s)" t.id (Task.name t.task)
+    t.frames_held t.min_frames
+    (if t.timed_out then ",TIMED-OUT" else "")

@@ -1,0 +1,63 @@
+(** The container: HiPEC's kernel object (paper §4.1).
+
+    Created when a specific application invokes [vm_map_hipec] or
+    [vm_allocate_hipec] and mounted under the region's VM object.  It
+    records the policy program (the command buffer), the operand array,
+    the private frame lists allocated by the global frame manager, and
+    the executor timestamp the security checker polls. *)
+
+open Hipec_sim
+open Hipec_vm
+
+type t
+
+val create :
+  task:Task.t ->
+  obj:Vm_object.t ->
+  region:Vm_map.region ->
+  program:Program.t ->
+  operands:Operand.t ->
+  queues:Operand.std_queues ->
+  min_frames:int ->
+  unit ->
+  t
+
+val id : t -> int
+val task : t -> Task.t
+val obj : t -> Vm_object.t
+val region : t -> Vm_map.region
+val program : t -> Program.t
+val operands : t -> Operand.t
+
+val free_queue : t -> Page_queue.t
+val active_queue : t -> Page_queue.t
+val inactive_queue : t -> Page_queue.t
+
+val min_frames : t -> int
+
+val frames_held : t -> int
+(** Frames currently charged to this container by the frame manager. *)
+
+val add_frames : t -> int -> unit
+val remove_frames : t -> int -> unit
+(** Raises [Invalid_argument] if the count would go negative. *)
+
+val resident_pages : t -> int
+(** Pages currently bound under the container's object. *)
+
+(** {1 Executor timestamp (polled by the security checker)} *)
+
+val execution_started : t -> Sim_time.t option
+val set_execution_started : t -> Sim_time.t option -> unit
+
+val timed_out : t -> bool
+val set_timed_out : t -> unit
+
+(** {1 Accounting} *)
+
+val events_run : t -> int
+val count_event_run : t -> unit
+val commands_interpreted : t -> int
+val count_commands : t -> int -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,8 @@
+let page_fault = 0
+let reclaim_frame = 1
+let first_user = 2
+
+let name = function
+  | 0 -> "PageFault"
+  | 1 -> "ReclaimFrame"
+  | n -> Printf.sprintf "event-%d" n

@@ -1,0 +1,20 @@
+(** HiPEC event numbers.
+
+    A policy is a set of event handlers.  Two events are HiPEC-defined
+    and mandatory (paper §4.2): [PageFault], run when a fault needs a
+    frame, and [ReclaimFrame], run when the global frame manager wants
+    frames back.  Applications may define any number of further events,
+    reached with the [Activate] command (procedure-call semantics). *)
+
+val page_fault : int
+(** 0 — must leave a free page slot in the page register and return it. *)
+
+val reclaim_frame : int
+(** 1 — must [Release] up to [Std.reclaim_target] frames. *)
+
+val first_user : int
+(** 2 — first application-defined event number (Table 2's
+    [Lack_free_frame] is event 2). *)
+
+val name : int -> string
+(** "PageFault", "ReclaimFrame", or "event-N". *)

@@ -1,0 +1,455 @@
+open Hipec_machine
+open Hipec_vm
+
+let log = Logs.Src.create "hipec.manager" ~doc:"global frame manager"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type stats = {
+  mutable requests_granted : int;
+  mutable requests_rejected : int;
+  mutable frames_granted : int;
+  mutable frames_reclaimed : int;
+  mutable reclaim_events : int;
+  mutable forced_seizures : int;
+  mutable flush_writes : int;
+}
+
+type t = {
+  kernel : Kernel.t;
+  mutable executor : Executor.t option;  (* wired right after creation *)
+  mutable containers : Container.t list;  (* FAFR: oldest first *)
+  mutable partition_burst : int;
+  mutable specific_total : int;
+  stats : stats;
+}
+
+let kernel t = t.kernel
+let executor t = Option.get t.executor
+let partition_burst t = t.partition_burst
+let set_partition_burst t v = t.partition_burst <- v
+let specific_total t = t.specific_total
+let containers t = t.containers
+let stats t = t.stats
+
+(* ------------------------------------------------------------------ *)
+(* Frame movement primitives                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Asynchronous writeback of a bound dirty page; the modify bit clears
+   immediately (the manager owns a stable copy), so the frame is at once
+   reusable and the executor never waits on the disk (paper §4.3.1,
+   I/O Handling). *)
+let flush_bound_page t page =
+  match Vm_page.binding page with
+  | None -> Error "Flush: page is not bound to an object"
+  | Some (oid, offset) -> (
+      match Kernel.resolve_object t.kernel oid with
+      | exception Not_found -> Error (Printf.sprintf "Flush: unknown object %d" oid)
+      | obj ->
+          if Vm_page.dirty page then begin
+            let block =
+              match Vm_object.disk_block obj ~offset with
+              | Some b -> b
+              | None ->
+                  let b = Kernel.alloc_disk_extent t.kernel ~npages:1 in
+                  Vm_object.assign_swap obj ~offset ~block:b;
+                  b
+            in
+            Vm_page.clear_modified page;
+            t.stats.flush_writes <- t.stats.flush_writes + 1;
+            Disk.submit_write (Kernel.disk t.kernel) ~block
+              ~nblocks:Vm_object.blocks_per_page (fun _ -> ())
+          end;
+          Ok ())
+
+(* Grant [n] frames from the machine free pool onto the container's
+   free queue as unbound slots. *)
+let grant_frames t container n =
+  let frames = Frame.Table.alloc_many (Kernel.frame_table t.kernel) n in
+  List.iter
+    (fun frame ->
+      Page_queue.enqueue_tail (Container.free_queue container) (Vm_page.create ~frame))
+    frames;
+  let got = List.length frames in
+  Container.add_frames container got;
+  t.specific_total <- t.specific_total + got;
+  t.stats.frames_granted <- t.stats.frames_granted + got;
+  got
+
+(* Take up to [n] unbound slots back from the container's free queue. *)
+let take_free_slots t container n =
+  let tbl = Kernel.frame_table t.kernel in
+  let rec loop k =
+    if k = 0 then n
+    else
+      match Page_queue.dequeue_head (Container.free_queue container) with
+      | None -> n - k
+      | Some slot ->
+          assert (not (Vm_page.is_bound slot));
+          Frame.Table.free tbl (Vm_page.frame slot);
+          loop (k - 1)
+  in
+  let got = loop n in
+  Container.remove_frames container got;
+  t.specific_total <- t.specific_total - got;
+  t.stats.frames_reclaimed <- t.stats.frames_reclaimed + got;
+  got
+
+(* Seize one frame from the container: a free slot if any, otherwise a
+   resident page (inactive, then active queue, then anything bound). *)
+let seize_one t container ~flush_dirty =
+  let tbl = Kernel.frame_table t.kernel in
+  let free_page page =
+    if Vm_page.is_bound page then begin
+      (if flush_dirty && Vm_page.dirty page then
+         match flush_bound_page t page with Ok () | Error _ -> ());
+      let oid = match Vm_page.binding page with Some (o, _) -> o | None -> assert false in
+      (match Kernel.resolve_object t.kernel oid with
+      | obj -> Vm_object.disconnect obj page
+      | exception Not_found -> Vm_page.unbind page)
+    end;
+    Vm_page.set_wired page false;
+    Frame.set_modified (Vm_page.frame page) false;
+    Frame.Table.free tbl (Vm_page.frame page);
+    Container.remove_frames container 1;
+    t.specific_total <- t.specific_total - 1;
+    t.stats.frames_reclaimed <- t.stats.frames_reclaimed + 1;
+    t.stats.forced_seizures <- t.stats.forced_seizures + 1
+  in
+  match Page_queue.dequeue_head (Container.free_queue container) with
+  | Some slot ->
+      free_page slot;
+      true
+  | None -> (
+      match Page_queue.dequeue_head (Container.inactive_queue container) with
+      | Some page ->
+          free_page page;
+          true
+      | None -> (
+          match Page_queue.dequeue_head (Container.active_queue container) with
+          | Some page ->
+              free_page page;
+              true
+          | None -> (
+              (* a resident page held off-queue (e.g. in the page register) *)
+              let found = ref None in
+              Vm_object.iter_resident
+                (fun ~offset:_ page ->
+                  if !found = None && not (Vm_page.wired page) then found := Some page)
+                (Container.obj container);
+              match !found with
+              | Some page ->
+                  (match Vm_page.on_queue page with
+                  | Some _ ->
+                      (* resident and queued: queues were drained above *)
+                      ()
+                  | None -> ());
+                  free_page page;
+                  true
+              | None -> false)))
+
+(* ------------------------------------------------------------------ *)
+(* Reclamation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let same_container a b = Container.id a = Container.id b
+
+let run_event_raw t container ~event = Executor.run (executor t) container ~event
+
+let rec handle_outcome t container outcome =
+  match outcome with
+  | Executor.Returned v -> Ok v
+  | Executor.Timed_out -> Error `Timed_out
+  | Executor.Runtime_error msg ->
+      (* bad policy: the kernel terminates the specific application *)
+      let task = Container.task container in
+      Kernel.terminate_task t.kernel task ~reason:("HiPEC policy error: " ^ msg);
+      remove_task_containers t task;
+      Error (`Killed msg)
+
+and remove_task_containers t task =
+  let mine, _ =
+    List.partition (fun c -> Task.id (Container.task c) = Task.id task) t.containers
+  in
+  List.iter (fun c -> remove_container t c ~flush_dirty:false) mine
+
+and remove_container t container ~flush_dirty =
+  if List.exists (same_container container) t.containers then begin
+    t.containers <- List.filter (fun c -> not (same_container container c)) t.containers;
+    let rec drain () = if seize_one t container ~flush_dirty then drain () in
+    drain ();
+    Kernel.clear_manager t.kernel (Container.obj container)
+  end
+
+(* Normal reclamation: FAFR walk, only containers above their minimum,
+   driving each victim's ReclaimFrame event (paper: the specific
+   application decides which pages are least important). *)
+let reclaim_from_specific t ~need ~exclude =
+  let tbl = Kernel.frame_table t.kernel in
+  let start_free = Frame.Table.free_count tbl in
+  let victims =
+    List.filter
+      (fun c ->
+        (match exclude with Some e -> not (same_container e c) | None -> true)
+        && Container.frames_held c > Container.min_frames c
+        && Task.alive (Container.task c)
+        (* never re-enter a policy that is executing right now *)
+        && Container.execution_started c = None)
+      t.containers
+  in
+  let rec walk = function
+    | [] -> ()
+    | c :: rest ->
+        let freed = Frame.Table.free_count tbl - start_free in
+        if freed >= need then ()
+        else begin
+          let overage = Container.frames_held c - Container.min_frames c in
+          let want = min overage (need - freed) in
+          (match Operand.write_int (Container.operands c) Operand.Std.reclaim_target want
+           with
+          | Ok () -> ()
+          | Error _ -> ());
+          t.stats.reclaim_events <- t.stats.reclaim_events + 1;
+          (match handle_outcome t c (run_event_raw t c ~event:Events.reclaim_frame) with
+          | Ok _ | Error (`Timed_out | `Killed _) -> ());
+          walk rest
+        end
+  in
+  walk victims;
+  max 0 (Frame.Table.free_count tbl - start_free)
+
+let forced_reclaim t ~need ~exclude =
+  let tbl = Kernel.frame_table t.kernel in
+  let start_free = Frame.Table.free_count tbl in
+  let rec walk = function
+    | [] -> ()
+    | c :: rest ->
+        if Frame.Table.free_count tbl - start_free >= need then ()
+        else begin
+          (match exclude with
+          | Some e when same_container e c -> ()
+          | Some _ | None ->
+              let rec take () =
+                if
+                  Frame.Table.free_count tbl - start_free < need
+                  && seize_one t c ~flush_dirty:true
+                then take ()
+              in
+              take ());
+          walk rest
+        end
+  in
+  walk t.containers;
+  max 0 (Frame.Table.free_count tbl - start_free)
+
+(* Ensure the machine free pool holds at least [need] frames above the
+   daemon reserve, stealing from the default pool and then from specific
+   applications.  Returns true on success. *)
+let ensure_free t ~need ~exclude =
+  let tbl = Kernel.frame_table t.kernel in
+  let reserve = Pageout.reserved (Kernel.pageout t.kernel) in
+  let enough () = Frame.Table.free_count tbl >= need + reserve in
+  if enough () then true
+  else begin
+    (* steal clean pages from the default pool *)
+    let ctx = Kernel.pageout_ctx t.kernel in
+    let rec default_pool_loop () =
+      if (not (enough ())) && Pageout.reclaim_one (Kernel.pageout t.kernel) ctx then
+        default_pool_loop ()
+    in
+    default_pool_loop ();
+    if enough () then true
+    else begin
+      ignore (reclaim_from_specific t ~need:(need + reserve - Frame.Table.free_count tbl) ~exclude);
+      if enough () then true
+      else begin
+        ignore (forced_reclaim t ~need:(need + reserve - Frame.Table.free_count tbl) ~exclude);
+        enough ()
+      end
+    end
+  end
+
+(* Future work #1 of the paper: direct frame migration between relevant
+   specific applications.  Frames move list-to-list; the global
+   specific_total is unchanged. *)
+let migrate t ~src ~dst ~n =
+  if Container.id src = Container.id dst then
+    invalid_arg "Frame_manager.migrate: src and dst are the same container";
+  let admitted c = List.exists (same_container c) t.containers in
+  if not (admitted src && admitted dst) then
+    invalid_arg "Frame_manager.migrate: container not admitted";
+  let rec move k =
+    if k = 0 then n
+    else
+      match Page_queue.dequeue_head (Container.free_queue src) with
+      | None -> n - k
+      | Some slot ->
+          assert (not (Vm_page.is_bound slot));
+          Page_queue.enqueue_tail (Container.free_queue dst) slot;
+          move (k - 1)
+  in
+  let moved = move (max 0 n) in
+  Container.remove_frames src moved;
+  Container.add_frames dst moved;
+  moved
+
+let balance ?exclude t =
+  if t.specific_total > t.partition_burst then begin
+    let overage = t.specific_total - t.partition_burst in
+    ignore (reclaim_from_specific t ~need:overage ~exclude)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public operations                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let admit t container =
+  let need = Container.min_frames container in
+  Log.debug (fun m -> m "admission: %a wants %d frames" Container.pp container need);
+  if not (ensure_free t ~need ~exclude:(Some container)) then
+    Error
+      (Printf.sprintf "frame manager: cannot satisfy minFrame request of %d frames" need)
+  else begin
+    let got = grant_frames t container need in
+    assert (got = need);
+    t.containers <- t.containers @ [ container ];
+    balance t ~exclude:container;
+    Ok ()
+  end
+
+(* Grant policy (paper: "depending on the number of the remaining free
+   page frames and the status of the requester"): a requester already
+   above its minimum is held to the partition_burst watermark — the
+   manager first tries to reclaim the overage from other specific
+   applications, then rejects. *)
+let request t container n =
+  if n <= 0 then true
+  else if not (Task.alive (Container.task container)) then false
+  else begin
+    if t.specific_total + n > t.partition_burst then
+      ignore
+        (reclaim_from_specific t
+           ~need:(t.specific_total + n - t.partition_burst)
+           ~exclude:(Some container));
+    let over_burst = t.specific_total + n > t.partition_burst in
+    let above_min = Container.frames_held container > Container.min_frames container in
+    if over_burst && above_min then begin
+      t.stats.requests_rejected <- t.stats.requests_rejected + 1;
+      Log.info (fun m ->
+          m "rejected request for %d frames from %a (over partition_burst %d)" n
+            Container.pp container t.partition_burst);
+      false
+    end
+    else if not (ensure_free t ~need:n ~exclude:(Some container)) then begin
+      t.stats.requests_rejected <- t.stats.requests_rejected + 1;
+      Log.info (fun m -> m "rejected request for %d frames from %a (no memory)" n Container.pp container);
+      false
+    end
+    else begin
+      let got = grant_frames t container n in
+      assert (got = n);
+      t.stats.requests_granted <- t.stats.requests_granted + 1;
+      true
+    end
+  end
+
+let find_container_by_task t task =
+  List.filter (fun c -> Task.id (Container.task c) = Task.id task) t.containers
+
+let run_event t container ~event =
+  let outcome = run_event_raw t container ~event in
+  (match outcome with
+  | Executor.Runtime_error _ -> ignore (handle_outcome t container outcome)
+  | Executor.Returned _ | Executor.Timed_out -> ());
+  outcome
+
+let page_fault t container ~fault_va =
+  let ops = Container.operands container in
+  (match Operand.write_int ops Operand.Std.fault_va fault_va with
+  | Ok () -> ()
+  | Error _ -> ());
+  match run_event t container ~event:Events.page_fault with
+  | Executor.Returned (Some (Operand.Page { contents = Some page })) ->
+      if Vm_page.is_bound page then
+        Error "PageFault policy returned a page that is still bound"
+      else begin
+        (* the slot leaves the policy's queues and becomes the fault's frame *)
+        (match Vm_page.on_queue page with
+        | Some _ -> (
+            let q = Container.free_queue container in
+            match Page_queue.mem q page with
+            | true -> Page_queue.remove q page
+            | false -> (
+                let q = Container.inactive_queue container in
+                match Page_queue.mem q page with
+                | true -> Page_queue.remove q page
+                | false ->
+                    let q = Container.active_queue container in
+                    if Page_queue.mem q page then Page_queue.remove q page))
+        | None -> ());
+        Ok page
+      end
+  | Executor.Returned (Some (Operand.Page { contents = None })) ->
+      Error "PageFault policy returned an empty page register"
+  | Executor.Returned _ -> Error "PageFault policy did not return a page operand"
+  | Executor.Timed_out -> Error "policy execution timed out"
+  | Executor.Runtime_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Creation: wire the executor's services to this manager              *)
+(* ------------------------------------------------------------------ *)
+
+let create ~kernel ?(burst_fraction = 0.5) ?max_steps () =
+  if burst_fraction < 0. || burst_fraction > 1. then
+    invalid_arg "Frame_manager.create: burst_fraction outside [0,1]";
+  let t =
+    {
+      kernel;
+      executor = None;
+      containers = [];
+      partition_burst =
+        int_of_float
+          (burst_fraction *. float_of_int (Frame.Table.free_count (Kernel.frame_table kernel)));
+      specific_total = 0;
+      stats =
+        {
+          requests_granted = 0;
+          requests_rejected = 0;
+          frames_granted = 0;
+          frames_reclaimed = 0;
+          reclaim_events = 0;
+          forced_seizures = 0;
+          flush_writes = 0;
+        };
+    }
+  in
+  let services =
+    {
+      Executor.request_frames = (fun c n -> request t c n);
+      release_count = (fun c ~count -> take_free_slots t c count);
+      release_page =
+        (fun c page ->
+          if Vm_page.is_bound page then Error "Release: page is still bound"
+          else begin
+            (match Vm_page.on_queue page with
+            | Some _ ->
+                if Page_queue.mem (Container.free_queue c) page then
+                  Page_queue.remove (Container.free_queue c) page
+                else Page_queue.remove (Container.inactive_queue c) page
+            | None -> ());
+            Frame.Table.free (Kernel.frame_table kernel) (Vm_page.frame page);
+            Container.remove_frames c 1;
+            t.specific_total <- t.specific_total - 1;
+            t.stats.frames_reclaimed <- t.stats.frames_reclaimed + 1;
+            Ok ()
+          end);
+      flush_page = (fun _c page -> flush_bound_page t page);
+      resolve_object = (fun oid -> Kernel.resolve_object kernel oid);
+    }
+  in
+  t.executor <-
+    Some
+      (Executor.create ?max_steps ~engine:(Kernel.engine kernel) ~costs:(Kernel.costs kernel)
+         ~services ());
+  t

@@ -1,0 +1,94 @@
+(** The global frame manager (paper §4.3.1).
+
+    The pageout daemon, extended: it allocates private frame lists to
+    specific applications (admission with [minFrame], dynamic [Request]/
+    [Release]), keeps the allocation balanced against non-specific
+    applications via the [partition_burst] watermark, reclaims frames —
+    normally through each victim container's [ReclaimFrame] event in
+    FAFR (First Allocated, First Reclaimed) order, forcibly by seizing
+    frames — and performs all paging I/O on behalf of policies so the
+    executor never waits on the disk. *)
+
+open Hipec_vm
+
+type t
+
+val create : kernel:Kernel.t -> ?burst_fraction:float -> ?max_steps:int -> unit -> t
+(** [burst_fraction] (default 0.5) of the currently free frames becomes
+    [partition_burst], as in the paper ("50% of the available free page
+    frames after the system starts up").  [max_steps] bounds policy
+    executions (see {!Executor.create}). *)
+
+val kernel : t -> Kernel.t
+val executor : t -> Executor.t
+val partition_burst : t -> int
+val set_partition_burst : t -> int -> unit
+val specific_total : t -> int
+(** Frames currently held by all containers. *)
+
+val containers : t -> Container.t list
+(** In allocation (FAFR) order. *)
+
+(** {1 Container lifecycle} *)
+
+val admit : t -> Container.t -> (unit, string) result
+(** Grant the container its [min_frames] private list, reclaiming from
+    the default pool and then from older containers if needed; reject
+    when physical memory cannot cover the request. *)
+
+val remove_container : t -> Container.t -> flush_dirty:bool -> unit
+(** Tear a container down, returning every frame it holds.  With
+    [flush_dirty] the resident dirty pages are written back first
+    (voluntary deallocation); without, they are dropped (task killed). *)
+
+val find_container_by_task : t -> Task.t -> Container.t list
+
+(** {1 Executor entry points} *)
+
+val run_event : t -> Container.t -> event:int -> Executor.outcome
+(** Run a policy event with the manager's services wired in.  A
+    [Runtime_error] outcome terminates the owning task (and removes its
+    containers); [Timed_out] leaves the container stamped for the
+    security checker. *)
+
+val page_fault : t -> Container.t -> fault_va:int -> (Vm_page.t, string) result
+(** Drive the container's [PageFault] event and extract the granted
+    free slot; errors mean the task must die. *)
+
+(** {1 Manager operations (also exposed to policies as services)} *)
+
+val request : t -> Container.t -> int -> bool
+(** Grant [n] more frames onto the container's free queue, or reject. *)
+
+val reclaim_from_specific : t -> need:int -> exclude:Container.t option -> int
+(** Normal reclamation: walk containers FAFR, running [ReclaimFrame]
+    on those holding more than their minimum.  Returns frames freed. *)
+
+val forced_reclaim : t -> need:int -> exclude:Container.t option -> int
+(** Seize frames (free slots first, then resident pages) FAFR. *)
+
+val migrate : t -> src:Container.t -> dst:Container.t -> n:int -> int
+(** Move up to [n] free slots from [src]'s private free list directly
+    onto [dst]'s, without a round trip through the global pool — the
+    paper's §6 first future-work item (physical frame migration between
+    relevant jobs).  Only unbound slots move; returns how many did.
+    Raises [Invalid_argument] when [src] and [dst] are the same
+    container or either is no longer admitted. *)
+
+val balance : ?exclude:Container.t -> t -> unit
+(** If [specific_total > partition_burst], reclaim the overage from
+    containers holding more than their minimum (paper's Balance task). *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  mutable requests_granted : int;
+  mutable requests_rejected : int;
+  mutable frames_granted : int;
+  mutable frames_reclaimed : int;
+  mutable reclaim_events : int;
+  mutable forced_seizures : int;
+  mutable flush_writes : int;
+}
+
+val stats : t -> stats

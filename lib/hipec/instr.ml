@@ -1,0 +1,165 @@
+type operand_ix = int
+
+type t =
+  | Return of operand_ix
+  | Arith of operand_ix * operand_ix * Opcode.Arith_op.t
+  | Comp of operand_ix * operand_ix * Opcode.Comp_op.t
+  | Logic of operand_ix * operand_ix * Opcode.Logic_op.t
+  | Emptyq of operand_ix
+  | Inq of operand_ix * operand_ix
+  | Jump of int
+  | Dequeue of operand_ix * operand_ix * Opcode.Queue_end.t
+  | Enqueue of operand_ix * operand_ix * Opcode.Queue_end.t
+  | Request of int
+  | Release of operand_ix
+  | Flush of operand_ix
+  | Set of operand_ix * Opcode.Bit_action.t * Opcode.Bit_which.t
+  | Ref of operand_ix
+  | Mod of operand_ix
+  | Find of operand_ix * operand_ix
+  | Activate of int
+  | Fifo of operand_ix
+  | Lru of operand_ix
+  | Mru of operand_ix
+
+let opcode = function
+  | Return _ -> Opcode.Return
+  | Arith _ -> Opcode.Arith
+  | Comp _ -> Opcode.Comp
+  | Logic _ -> Opcode.Logic
+  | Emptyq _ -> Opcode.Emptyq
+  | Inq _ -> Opcode.Inq
+  | Jump _ -> Opcode.Jump
+  | Dequeue _ -> Opcode.Dequeue
+  | Enqueue _ -> Opcode.Enqueue
+  | Request _ -> Opcode.Request
+  | Release _ -> Opcode.Release
+  | Flush _ -> Opcode.Flush
+  | Set _ -> Opcode.Set
+  | Ref _ -> Opcode.Ref
+  | Mod _ -> Opcode.Mod
+  | Find _ -> Opcode.Find
+  | Activate _ -> Opcode.Activate
+  | Fifo _ -> Opcode.Fifo
+  | Lru _ -> Opcode.Lru
+  | Mru _ -> Opcode.Mru
+
+let byte name v =
+  if v < 0 || v > 0xFF then invalid_arg (Printf.sprintf "Instr.encode: %s out of range" name);
+  v
+
+let word op a b c =
+  let op = Opcode.code op in
+  Int32.of_int ((op lsl 24) lor (byte "field1" a lsl 16) lor (byte "field2" b lsl 8)
+                lor byte "field3" c)
+
+let encode t =
+  match t with
+  | Return op1 -> word Opcode.Return op1 0 0
+  | Arith (op1, op2, f) -> word Opcode.Arith op1 op2 (Opcode.Arith_op.code f)
+  | Comp (op1, op2, f) -> word Opcode.Comp op1 op2 (Opcode.Comp_op.code f)
+  | Logic (op1, op2, f) -> word Opcode.Logic op1 op2 (Opcode.Logic_op.code f)
+  | Emptyq op1 -> word Opcode.Emptyq op1 0 0
+  | Inq (q, p) -> word Opcode.Inq q p 0
+  | Jump cc ->
+      if cc < 0 || cc > 0xFFFF then invalid_arg "Instr.encode: jump target out of range";
+      word Opcode.Jump 0 (cc lsr 8) (cc land 0xFF)
+  | Dequeue (p, q, e) -> word Opcode.Dequeue p q (Opcode.Queue_end.code e)
+  | Enqueue (p, q, e) -> word Opcode.Enqueue p q (Opcode.Queue_end.code e)
+  | Request n -> word Opcode.Request (byte "request size" n) 0 0
+  | Release op1 -> word Opcode.Release op1 0 0
+  | Flush op1 -> word Opcode.Flush op1 0 0
+  | Set (p, action, which) ->
+      word Opcode.Set p (Opcode.Bit_action.code action) (Opcode.Bit_which.code which)
+  | Ref op1 -> word Opcode.Ref op1 0 0
+  | Mod op1 -> word Opcode.Mod op1 0 0
+  | Find (p, va) -> word Opcode.Find p va 0
+  | Activate ev -> word Opcode.Activate (byte "event" ev) 0 0
+  | Fifo q -> word Opcode.Fifo q 0 0
+  | Lru q -> word Opcode.Lru q 0 0
+  | Mru q -> word Opcode.Mru q 0 0
+
+let decode w =
+  let w = Int32.to_int (Int32.logand w 0xFFFFFFFFl) in
+  let w = w land 0xFFFFFFFF in
+  let op = (w lsr 24) land 0xFF in
+  let a = (w lsr 16) land 0xFF in
+  let b = (w lsr 8) land 0xFF in
+  let c = w land 0xFF in
+  let flag name = function Some f -> Ok f | None -> Error ("bad " ^ name ^ " flag") in
+  match Opcode.of_code op with
+  | None -> Error (Printf.sprintf "unknown opcode 0x%02X" op)
+  | Some Opcode.Return -> Ok (Return a)
+  | Some Opcode.Arith ->
+      Result.map (fun f -> Arith (a, b, f)) (flag "arith" (Opcode.Arith_op.of_code c))
+  | Some Opcode.Comp ->
+      Result.map (fun f -> Comp (a, b, f)) (flag "comparison" (Opcode.Comp_op.of_code c))
+  | Some Opcode.Logic ->
+      Result.map (fun f -> Logic (a, b, f)) (flag "logic" (Opcode.Logic_op.of_code c))
+  | Some Opcode.Emptyq -> Ok (Emptyq a)
+  | Some Opcode.Inq -> Ok (Inq (a, b))
+  | Some Opcode.Jump -> Ok (Jump ((b lsl 8) lor c))
+  | Some Opcode.Dequeue ->
+      Result.map (fun e -> Dequeue (a, b, e)) (flag "queue-end" (Opcode.Queue_end.of_code c))
+  | Some Opcode.Enqueue ->
+      Result.map (fun e -> Enqueue (a, b, e)) (flag "queue-end" (Opcode.Queue_end.of_code c))
+  | Some Opcode.Request -> Ok (Request a)
+  | Some Opcode.Release -> Ok (Release a)
+  | Some Opcode.Flush -> Ok (Flush a)
+  | Some Opcode.Set -> (
+      match (Opcode.Bit_action.of_code b, Opcode.Bit_which.of_code c) with
+      | Some action, Some which -> Ok (Set (a, action, which))
+      | None, _ -> Error "bad set/reset flag"
+      | _, None -> Error "bad reference/modify flag")
+  | Some Opcode.Ref -> Ok (Ref a)
+  | Some Opcode.Mod -> Ok (Mod a)
+  | Some Opcode.Find -> Ok (Find (a, b))
+  | Some Opcode.Activate -> Ok (Activate a)
+  | Some Opcode.Fifo -> Ok (Fifo a)
+  | Some Opcode.Lru -> Ok (Lru a)
+  | Some Opcode.Mru -> Ok (Mru a)
+
+let encode_program instrs = Array.map encode instrs
+
+let decode_program words =
+  let out = Array.make (Array.length words) (Return 0) in
+  let rec loop i =
+    if i >= Array.length words then Ok out
+    else
+      match decode words.(i) with
+      | Ok instr ->
+          out.(i) <- instr;
+          loop (i + 1)
+      | Error e -> Error (Printf.sprintf "CC %d: %s" i e)
+  in
+  loop 0
+
+let pp fmt t =
+  let p = Format.fprintf in
+  match t with
+  | Return op1 -> p fmt "Return $%d" op1
+  | Arith (a, b, f) -> p fmt "Arith $%d $%d %s" a b (Opcode.Arith_op.name f)
+  | Comp (a, b, f) -> p fmt "Comp $%d $%d %s" a b (Opcode.Comp_op.name f)
+  | Logic (a, b, f) -> p fmt "Logic $%d $%d %s" a b (Opcode.Logic_op.name f)
+  | Emptyq a -> p fmt "EmptyQ $%d" a
+  | Inq (q, pg) -> p fmt "InQ $%d $%d" q pg
+  | Jump cc -> p fmt "Jump %d" cc
+  | Dequeue (pg, q, e) -> p fmt "DeQueue $%d $%d %s" pg q (Opcode.Queue_end.name e)
+  | Enqueue (pg, q, e) -> p fmt "EnQueue $%d $%d %s" pg q (Opcode.Queue_end.name e)
+  | Request n -> p fmt "Request %d" n
+  | Release a -> p fmt "Release $%d" a
+  | Flush a -> p fmt "Flush $%d" a
+  | Set (pg, action, which) ->
+      p fmt "Set $%d %s %s" pg (Opcode.Bit_action.name action) (Opcode.Bit_which.name which)
+  | Ref a -> p fmt "Ref $%d" a
+  | Mod a -> p fmt "Mod $%d" a
+  | Find (pg, va) -> p fmt "Find $%d $%d" pg va
+  | Activate ev -> p fmt "Activate %d" ev
+  | Fifo q -> p fmt "FIFO $%d" q
+  | Lru q -> p fmt "LRU $%d" q
+  | Mru q -> p fmt "MRU $%d" q
+
+let pp_word fmt w =
+  let w = Int32.to_int (Int32.logand w 0xFFFFFFFFl) land 0xFFFFFFFF in
+  Format.fprintf fmt "%02X %02X %02X %02X" ((w lsr 24) land 0xFF) ((w lsr 16) land 0xFF)
+    ((w lsr 8) land 0xFF) (w land 0xFF)

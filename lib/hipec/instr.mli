@@ -1,0 +1,50 @@
+(** Typed HiPEC instructions and their 32-bit binary encoding.
+
+    The word layout is Figure 3's: [byte0 = operator, bytes 1..3 =
+    fields].  [Jump] carries a 16-bit command-counter immediate in
+    bytes 2–3 (as in Table 2, e.g. [06 00 00 05] = jump to CC 5);
+    [Activate] and [Request] carry an 8-bit immediate in byte 1. *)
+
+type operand_ix = int
+(** Index into the container's 256-entry operand array. *)
+
+type t =
+  | Return of operand_ix
+  | Arith of operand_ix * operand_ix * Opcode.Arith_op.t
+  | Comp of operand_ix * operand_ix * Opcode.Comp_op.t
+  | Logic of operand_ix * operand_ix * Opcode.Logic_op.t
+  | Emptyq of operand_ix
+  | Inq of operand_ix * operand_ix  (** queue, page *)
+  | Jump of int  (** target command counter *)
+  | Dequeue of operand_ix * operand_ix * Opcode.Queue_end.t  (** page, queue *)
+  | Enqueue of operand_ix * operand_ix * Opcode.Queue_end.t  (** page, queue *)
+  | Request of int  (** immediate frame count, 0..255 *)
+  | Release of operand_ix  (** Int operand = count, or Page operand *)
+  | Flush of operand_ix
+  | Set of operand_ix * Opcode.Bit_action.t * Opcode.Bit_which.t
+  | Ref of operand_ix
+  | Mod of operand_ix
+  | Find of operand_ix * operand_ix  (** page, virtual-address Int *)
+  | Activate of int  (** immediate event number *)
+  | Fifo of operand_ix
+  | Lru of operand_ix
+  | Mru of operand_ix
+
+val opcode : t -> Opcode.t
+
+val encode : t -> int32
+(** Raises [Invalid_argument] when a field is outside 0..255 (or the
+    jump target outside 0..65535). *)
+
+val decode : int32 -> (t, string) result
+(** Rejects unknown operator codes and invalid flag values. *)
+
+val encode_program : t array -> int32 array
+val decode_program : int32 array -> (t array, string) result
+(** Element-wise; the error names the failing command counter. *)
+
+val pp : Format.formatter -> t -> unit
+(** Assembly-like rendering, e.g. [Comp $2 $12 gt]. *)
+
+val pp_word : Format.formatter -> int32 -> unit
+(** Hex bytes as printed in the paper's Table 2, e.g. [02 02 0C 01]. *)

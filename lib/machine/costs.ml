@@ -1,0 +1,86 @@
+open Hipec_sim
+
+type t = {
+  mem_access : Sim_time.t;
+  pmap_lookup : Sim_time.t;
+  fault_trap : Sim_time.t;
+  fault_service : Sim_time.t;
+  pmap_enter : Sim_time.t;
+  null_syscall : Sim_time.t;
+  null_ipc : Sim_time.t;
+  context_switch : Sim_time.t;
+  hipec_region_check : Sim_time.t;
+  hipec_dispatch : Sim_time.t;
+  hipec_fetch_decode : Sim_time.t;
+  hipec_complex_command : Sim_time.t;
+  hipec_frame_bookkeeping : Sim_time.t;
+  checker_scan_per_container : Sim_time.t;
+  queue_op : Sim_time.t;
+  page_copy : Sim_time.t;
+}
+
+(* Calibration targets (see the .mli): fault path without I/O must total
+   ~392 us; the HiPEC extra per fault must total ~7 us so Table 3 lands
+   at ~1.8 %. *)
+let default =
+  {
+    mem_access = Sim_time.ns 200;
+    pmap_lookup = Sim_time.ns 300;
+    fault_trap = Sim_time.us 30;
+    fault_service = Sim_time.of_us_f 360.0;
+    pmap_enter = Sim_time.of_us_f 2.0;
+    null_syscall = Sim_time.us 19;
+    null_ipc = Sim_time.us 292;
+    context_switch = Sim_time.us 25;
+    hipec_region_check = Sim_time.ns 200;
+    hipec_dispatch = Sim_time.of_us_f 3.5;
+    hipec_fetch_decode = Sim_time.ns 50;
+    hipec_complex_command = Sim_time.ns 400;
+    hipec_frame_bookkeeping = Sim_time.of_us_f 2.8;
+    checker_scan_per_container = Sim_time.us 2;
+    queue_op = Sim_time.ns 250;
+    page_copy = Sim_time.of_us_f 120.0;
+  }
+
+let free =
+  let z = Sim_time.zero in
+  {
+    mem_access = z;
+    pmap_lookup = z;
+    fault_trap = z;
+    fault_service = z;
+    pmap_enter = z;
+    null_syscall = z;
+    null_ipc = z;
+    context_switch = z;
+    hipec_region_check = z;
+    hipec_dispatch = z;
+    hipec_fetch_decode = z;
+    hipec_complex_command = z;
+    hipec_frame_bookkeeping = z;
+    checker_scan_per_container = z;
+    queue_op = z;
+    page_copy = z;
+  }
+
+let scale t factor =
+  if factor < 0. then invalid_arg "Costs.scale: negative factor";
+  let f x = Sim_time.ns (int_of_float (Float.round (float_of_int (Sim_time.to_ns x) *. factor))) in
+  {
+    mem_access = f t.mem_access;
+    pmap_lookup = f t.pmap_lookup;
+    fault_trap = f t.fault_trap;
+    fault_service = f t.fault_service;
+    pmap_enter = f t.pmap_enter;
+    null_syscall = f t.null_syscall;
+    null_ipc = f t.null_ipc;
+    context_switch = f t.context_switch;
+    hipec_region_check = f t.hipec_region_check;
+    hipec_dispatch = f t.hipec_dispatch;
+    hipec_fetch_decode = f t.hipec_fetch_decode;
+    hipec_complex_command = f t.hipec_complex_command;
+    hipec_frame_bookkeeping = f t.hipec_frame_bookkeeping;
+    checker_scan_per_container = f t.checker_scan_per_container;
+    queue_op = f t.queue_op;
+    page_copy = f t.page_copy;
+  }

@@ -1,0 +1,57 @@
+(** Calibrated unit-cost model for the simulated machine.
+
+    Every kernel-path operation in the simulation charges one of these
+    costs to the virtual clock.  The defaults are calibrated against the
+    paper's own measurements on an Acer Altos 10000 (2 x i486-50, 64 MB),
+    Tables 3 and 4 of the paper:
+
+    - null system call: 19 us
+    - null IPC (Mach message round trip): 292 us
+    - page-fault service without disk I/O: 4016.5 ms / 10240 faults
+      = ~392 us per fault
+    - page-fault service with disk I/O: 82485.5 ms / 10240 faults
+      = ~8.05 ms per fault, i.e. ~7.66 ms of disk time
+    - HiPEC 3-command fast path: ~150 ns, i.e. ~50 ns fetch+decode per
+      command
+    - HiPEC total per-fault extra: ~7 us (the 1.8 % overhead of Table 3)
+
+    These are the only tuned numbers in the repository. *)
+
+open Hipec_sim
+
+type t = {
+  mem_access : Sim_time.t;  (** one user-level memory reference that hits *)
+  pmap_lookup : Sim_time.t;  (** hardware translation + ref-bit update *)
+  fault_trap : Sim_time.t;  (** trap entry/exit + fault bookkeeping *)
+  fault_service : Sim_time.t;
+      (** kernel fault path beyond the trap: object lookup, page alloc,
+          zero-fill or pagein setup, pmap_enter — calibrated so that
+          [fault_trap + fault_service] = ~392 us *)
+  pmap_enter : Sim_time.t;  (** install one translation *)
+  null_syscall : Sim_time.t;  (** Table 4: 19 us *)
+  null_ipc : Sim_time.t;  (** Table 4: 292 us *)
+  context_switch : Sim_time.t;  (** thread switch, used by the AIM model *)
+  hipec_region_check : Sim_time.t;
+      (** per-fault test "is this VA in a HiPEC region?" paid by every
+          fault on the modified kernel, HiPEC user or not *)
+  hipec_dispatch : Sim_time.t;
+      (** per-event executor setup: container lookup, timestamp write,
+          operand-array binding *)
+  hipec_fetch_decode : Sim_time.t;  (** per interpreted command: ~50 ns *)
+  hipec_complex_command : Sim_time.t;
+      (** extra body cost of a complex command (FIFO/LRU/MRU scan step) *)
+  hipec_frame_bookkeeping : Sim_time.t;
+      (** private-frame-list accounting per HiPEC-handled fault *)
+  checker_scan_per_container : Sim_time.t;  (** checker sweep cost *)
+  queue_op : Sim_time.t;  (** kernel page-queue enqueue/dequeue *)
+  page_copy : Sim_time.t;  (** copy one 4 KB page in memory (COW resolution) *)
+}
+
+val default : t
+(** Calibration described above. *)
+
+val free : t
+(** All-zero costs; for logic-only tests where time is irrelevant. *)
+
+val scale : t -> float -> t
+(** Multiply every cost by a factor (used by ablation benches). *)

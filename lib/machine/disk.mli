@@ -1,0 +1,71 @@
+(** Seek + rotation + transfer disk model with a FIFO request queue.
+
+    A deliberately simple Ruemmler/Wilkes-style model: the service time
+    of a request is
+
+    {v controller + seek(|cyl - head_cyl|) + rotational latency + transfer v}
+
+    where seek is affine in cylinder distance, rotational latency is
+    uniform in one revolution, and transfer is proportional to the
+    request size.  Requests are served one at a time in arrival order;
+    latency includes time spent queued behind earlier requests.
+
+    The default parameters are calibrated so that a scattered 4 KB page
+    read averages ~7.65 ms, matching the paper's Table 3 (see
+    {!Costs}). *)
+
+open Hipec_sim
+
+type params = {
+  cylinders : int;
+  blocks_per_cylinder : int;  (** block = 512 bytes *)
+  controller_overhead : Sim_time.t;
+  seek_min : Sim_time.t;  (** track-to-track *)
+  seek_per_cylinder : Sim_time.t;
+  rotation_time : Sim_time.t;  (** one full revolution *)
+  transfer_per_block : Sim_time.t;
+}
+
+val default_params : params
+(** Calibrated early-90s SCSI disk (see module doc). *)
+
+type t
+
+val create : ?params:params -> engine:Engine.t -> rng:Rng.t -> unit -> t
+
+val capacity_blocks : t -> int
+
+(** {1 Asynchronous interface}
+
+    Used by the pageout path so that the policy executor never waits on
+    the device (the paper's global frame manager performs all flushes). *)
+
+val submit_read : t -> block:int -> nblocks:int -> (Engine.t -> unit) -> unit
+val submit_write : t -> block:int -> nblocks:int -> (Engine.t -> unit) -> unit
+(** Enqueue a transfer; the callback fires when it completes.  Raises
+    [Invalid_argument] on an out-of-range extent. *)
+
+(** {1 Synchronous estimate} *)
+
+val service_time : t -> block:int -> nblocks:int -> Sim_time.t
+(** Service time the device {e would} take for this request from its
+    current head position, excluding queueing.  Moves the head and draws
+    the rotational latency, so repeated calls model a seek sequence;
+    used by fully synchronous experiments. *)
+
+val sequential_transfer_time : t -> nblocks:int -> Sim_time.t
+(** Transfer-only cost for blocks that continue the preceding request
+    (no seek, no rotational loss) — the marginal price of clustered
+    readahead. *)
+
+(** {1 Instrumentation} *)
+
+val reads_completed : t -> int
+val writes_completed : t -> int
+
+val synchronous_transfers : t -> int
+(** [service_time] calls — transfers charged synchronously (the fault
+    path's pageins) rather than queued. *)
+
+val busy_time : t -> Sim_time.t
+val queue_depth : t -> int

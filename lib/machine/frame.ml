@@ -1,0 +1,80 @@
+let page_size = 4096
+
+type t = {
+  index : int;
+  mutable referenced : bool;
+  mutable modified : bool;
+  mutable wired : bool;
+  mutable free : bool;
+}
+
+let index t = t.index
+let referenced t = t.referenced
+let modified t = t.modified
+let set_referenced t b = t.referenced <- b
+let set_modified t b = t.modified <- b
+let wired t = t.wired
+let set_wired t b = t.wired <- b
+let is_free t = t.free
+
+let pp fmt t =
+  Format.fprintf fmt "frame#%d[%s%s%s%s]" t.index
+    (if t.referenced then "R" else "-")
+    (if t.modified then "M" else "-")
+    (if t.wired then "W" else "-")
+    (if t.free then "F" else "-")
+
+module Table = struct
+  type frame = t
+
+  type t = { frames : frame array; mutable free_list : frame list; mutable free_count : int }
+
+  let create ~total =
+    if total <= 0 then invalid_arg "Frame.Table.create: total <= 0";
+    let frames =
+      Array.init total (fun i ->
+          { index = i; referenced = false; modified = false; wired = false; free = true })
+    in
+    { frames; free_list = Array.to_list frames; free_count = total }
+
+  let total t = Array.length t.frames
+  let free_count t = t.free_count
+
+  let get t i =
+    if i < 0 || i >= Array.length t.frames then invalid_arg "Frame.Table.get: out of range";
+    t.frames.(i)
+
+  let alloc t =
+    match t.free_list with
+    | [] -> None
+    | f :: rest ->
+        t.free_list <- rest;
+        t.free_count <- t.free_count - 1;
+        f.free <- false;
+        f.referenced <- false;
+        f.modified <- false;
+        f.wired <- false;
+        Some f
+
+  let alloc_many t n =
+    let rec loop k acc = if k = 0 then List.rev acc else
+        match alloc t with None -> List.rev acc | Some f -> loop (k - 1) (f :: acc)
+    in
+    loop n []
+
+  let free t f =
+    if f.free then invalid_arg "Frame.Table.free: already free";
+    if f.wired then invalid_arg "Frame.Table.free: frame is wired";
+    f.free <- true;
+    f.referenced <- false;
+    f.modified <- false;
+    t.free_list <- f :: t.free_list;
+    t.free_count <- t.free_count + 1
+
+  let check_conservation t =
+    let in_pool = Array.make (Array.length t.frames) false in
+    List.iter (fun f -> in_pool.(f.index) <- true) t.free_list;
+    let ok = ref (List.length t.free_list = t.free_count) in
+    Array.iter (fun f -> if f.free <> in_pool.(f.index) then ok := false) t.frames;
+    !ok
+end

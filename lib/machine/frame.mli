@@ -1,0 +1,59 @@
+(** Physical page frames and the machine frame table.
+
+    A frame carries the hardware-maintained reference and modify bits
+    (the i486 sets these in the page-table entry; Mach mirrors them per
+    physical page, which is the view HiPEC's [Ref]/[Mod]/[Set] commands
+    operate on). *)
+
+val page_size : int
+(** Bytes per page frame: 4096, as on the paper's i486. *)
+
+type t
+(** A physical page frame. *)
+
+val index : t -> int
+(** Physical frame number, stable for the frame's lifetime. *)
+
+val referenced : t -> bool
+val modified : t -> bool
+val set_referenced : t -> bool -> unit
+val set_modified : t -> bool -> unit
+val wired : t -> bool
+val set_wired : t -> bool -> unit
+
+val is_free : t -> bool
+(** True while the frame sits in the frame table's free pool. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** The machine's fixed pool of physical frames. *)
+module Table : sig
+  type frame := t
+  type t
+
+  val create : total:int -> t
+  (** [create ~total] makes a table of [total] frames, all free.
+      Raises [Invalid_argument] if [total <= 0]. *)
+
+  val total : t -> int
+  val free_count : t -> int
+
+  val get : t -> int -> frame
+  (** Frame by physical index.  Raises [Invalid_argument] if out of
+      range. *)
+
+  val alloc : t -> frame option
+  (** Take a frame from the free pool; its ref/mod/wired bits are
+      cleared.  [None] when the pool is empty. *)
+
+  val alloc_many : t -> int -> frame list
+  (** Up to [n] frames; returns fewer when the pool runs dry. *)
+
+  val free : t -> frame -> unit
+  (** Return a frame to the pool.  Raises [Invalid_argument] if the
+      frame is already free or wired. *)
+
+  val check_conservation : t -> bool
+  (** Every frame is either in the free pool or allocated, never both —
+      used by tests and debug assertions. *)
+end

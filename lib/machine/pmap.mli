@@ -1,0 +1,43 @@
+(** Per-task physical map: the machine-dependent translation layer.
+
+    Maps virtual page numbers to physical frames with a protection, and
+    performs the hardware side of a memory reference: on a translation
+    hit it sets the frame's reference bit (and modify bit on a write).
+    Mirrors Mach's pmap module at the granularity this simulation
+    needs. *)
+
+type protection = Read_only | Read_write
+
+type access_result =
+  | Hit of Frame.t  (** translation present, permission ok *)
+  | Miss  (** no translation: page fault *)
+  | Protection_violation of Frame.t  (** write to a read-only mapping *)
+
+type t
+
+val create : unit -> t
+
+val enter : t -> vpn:int -> frame:Frame.t -> prot:protection -> unit
+(** Install (or replace) the translation for virtual page [vpn]. *)
+
+val remove : t -> vpn:int -> unit
+(** Drop the translation; no-op when absent. *)
+
+val remove_all : t -> unit
+
+val protect : t -> vpn:int -> prot:protection -> unit
+(** Change protection of an existing translation.  Raises
+    [Invalid_argument] when the page is unmapped. *)
+
+val lookup : t -> vpn:int -> (Frame.t * protection) option
+
+val access : t -> vpn:int -> write:bool -> access_result
+(** One user memory reference: updates hardware ref/mod bits on a hit. *)
+
+val resident_count : t -> int
+
+val vpn_of_va : int -> int
+(** Virtual page number of a byte address. *)
+
+val va_of_vpn : int -> int
+(** First byte address of a virtual page. *)

@@ -1,0 +1,46 @@
+open Hipec_sim
+open Hipec_vm
+open Hipec_core
+
+type policy = Mru | Lru | Fifo | Second_chance | Custom of (min_frames:int -> Api.spec)
+
+let policy_name = function
+  | Mru -> "MRU"
+  | Lru -> "LRU"
+  | Fifo -> "FIFO"
+  | Second_chance -> "second-chance"
+  | Custom _ -> "custom"
+
+let spec_of_policy policy ~min_frames =
+  match policy with
+  | Mru -> Api.default_spec ~policy:(Policies.mru ()) ~min_frames
+  | Lru -> Api.default_spec ~policy:(Policies.lru ()) ~min_frames
+  | Fifo -> Api.default_spec ~policy:(Policies.fifo ()) ~min_frames
+  | Second_chance -> Api.default_spec ~policy:(Policies.fifo_second_chance ()) ~min_frames
+  | Custom make -> make ~min_frames
+
+type t = { kernel : Kernel.t; hipec : Api.t; task : Task.t }
+
+let create ?(frames = 16_384) ?(seed = 11) () =
+  let config =
+    { Kernel.default_config with Kernel.total_frames = frames; seed; hipec_kernel = true }
+  in
+  let kernel = Kernel.create ~config () in
+  let hipec = Api.init kernel in
+  let task = Kernel.create_task kernel ~name:"minidb" () in
+  { kernel; hipec; task }
+
+let kernel t = t.kernel
+let hipec t = t.hipec
+let task t = t.task
+let now t = Kernel.now t.kernel
+
+let time t f =
+  let t0 = now t in
+  let result = f () in
+  (result, Sim_time.sub (now t) t0)
+
+let faults_during t f =
+  let f0 = Task.faults t.task in
+  let result = f () in
+  (result, Task.faults t.task - f0)

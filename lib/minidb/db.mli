@@ -1,0 +1,37 @@
+(** The database instance: a simulated machine, a HiPEC-extended kernel
+    and one server task that owns every table and index region.
+
+    This is the system the paper's conclusion promises to build on top
+    of HiPEC: storage objects whose buffer replacement the database —
+    not the kernel — controls, per access path. *)
+
+open Hipec_sim
+open Hipec_vm
+open Hipec_core
+
+(** Replacement policies a table or index can run under. *)
+type policy =
+  | Mru  (** best for cyclic scans (the paper's join result) *)
+  | Lru  (** best for skewed point access *)
+  | Fifo
+  | Second_chance  (** the kernel default, expressed as a HiPEC program *)
+  | Custom of (min_frames:int -> Api.spec)
+
+val policy_name : policy -> string
+val spec_of_policy : policy -> min_frames:int -> Api.spec
+
+type t
+
+val create : ?frames:int -> ?seed:int -> unit -> t
+(** Default: a 64 MB machine (16384 frames). *)
+
+val kernel : t -> Kernel.t
+val hipec : t -> Api.t
+val task : t -> Task.t
+
+val now : t -> Sim_time.t
+
+val time : t -> (unit -> 'a) -> 'a * Sim_time.t
+(** Run a query body and return the simulated time it took. *)
+
+val faults_during : t -> (unit -> 'a) -> 'a * int

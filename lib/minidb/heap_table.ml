@@ -1,0 +1,76 @@
+open Hipec_vm
+open Hipec_core
+
+type t = {
+  db : Db.t;
+  name : string;
+  schema : Schema.t;
+  keys : int array;  (* the rows' contents (the simulation prices access) *)
+  buffer_pages : int;
+  mutable policy : Db.policy;
+  mutable region : Vm_map.region;
+  mutable container : Container.t;
+}
+
+let name t = t.name
+let schema t = t.schema
+let row_count t = Array.length t.keys
+let pages t = Schema.pages_for_rows t.schema (Array.length t.keys)
+let buffer_pages t = t.buffer_pages
+let policy t = t.policy
+let container t = t.container
+let region t = t.region
+
+let access t ~row ~write =
+  if row < 0 || row >= Array.length t.keys then
+    invalid_arg (Printf.sprintf "Heap_table.%s: row %d out of range" t.name row);
+  let page = Schema.page_of_row t.schema row in
+  Kernel.access_vpn (Db.kernel t.db) (Db.task t.db)
+    ~vpn:(t.region.Vm_map.start_vpn + page) ~write
+
+let read_row t row =
+  access t ~row ~write:false;
+  t.keys.(row)
+
+let write_row t row key =
+  access t ~row ~write:true;
+  t.keys.(row) <- key
+
+let scan t ~f =
+  let per_page = Schema.tuples_per_page t.schema in
+  let n = Array.length t.keys in
+  for row = 0 to n - 1 do
+    (* one memory reference when the scan enters a new page *)
+    if row mod per_page = 0 then access t ~row ~write:false;
+    f ~row ~key:t.keys.(row)
+  done
+
+let create db ~name ?(schema = Schema.create ()) ?(policy = Db.Second_chance)
+    ?buffer_pages ~keys () =
+  if Array.length keys = 0 then invalid_arg "Heap_table.create: empty table";
+  let npages = Schema.pages_for_rows schema (Array.length keys) in
+  let buffer_pages =
+    match buffer_pages with Some b -> b | None -> max 16 (npages / 4)
+  in
+  let spec = Db.spec_of_policy policy ~min_frames:buffer_pages in
+  match Api.vm_map_hipec (Db.hipec db) (Db.task db) ~name ~npages spec with
+  | Error e -> failwith (Printf.sprintf "Heap_table.create %s: %s" name e)
+  | Ok (region, container) ->
+      let t = { db; name; schema; keys; buffer_pages; policy; region; container } in
+      (* bulk load: write every page once *)
+      let per_page = Schema.tuples_per_page schema in
+      for row = 0 to Array.length keys - 1 do
+        if row mod per_page = 0 then access t ~row ~write:true
+      done;
+      t
+
+let set_policy t policy =
+  let obj = t.region.Vm_map.obj in
+  Api.vm_deallocate_hipec (Db.hipec t.db) (Db.task t.db) t.container;
+  let spec = Db.spec_of_policy policy ~min_frames:t.buffer_pages in
+  match Api.vm_map_object_hipec (Db.hipec t.db) (Db.task t.db) ~obj spec with
+  | Error e -> failwith (Printf.sprintf "Heap_table.set_policy %s: %s" t.name e)
+  | Ok (region, container) ->
+      t.policy <- policy;
+      t.region <- region;
+      t.container <- container

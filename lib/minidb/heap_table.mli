@@ -1,0 +1,46 @@
+(** Heap tables: fixed-width rows in a file-backed, HiPEC-managed
+    region.
+
+    Row contents (an integer key per row) live beside the simulation;
+    every row read or write issues a memory reference for the row's
+    page through the kernel, so fault behaviour, replacement and I/O
+    are all real. *)
+
+open Hipec_vm
+open Hipec_core
+
+type t
+
+val create :
+  Db.t -> name:string -> ?schema:Schema.t -> ?policy:Db.policy -> ?buffer_pages:int ->
+  keys:int array -> unit -> t
+(** Bulk-load a table with the given row keys.  [buffer_pages] is the
+    container's [minFrame] (default: enough for a quarter of the table,
+    at least 16 pages); [policy] defaults to [Second_chance].  The load
+    writes every page once. *)
+
+val name : t -> string
+val schema : t -> Schema.t
+val row_count : t -> int
+val pages : t -> int
+val buffer_pages : t -> int
+val policy : t -> Db.policy
+val container : t -> Container.t
+val region : t -> Vm_map.region
+
+val read_row : t -> int -> int
+(** The row's key; one read reference.  Raises [Invalid_argument] on a
+    bad row number. *)
+
+val write_row : t -> int -> int -> unit
+(** Update a row's key; one write reference (dirties the page). *)
+
+val scan : t -> f:(row:int -> key:int -> unit) -> unit
+(** Visit every row in storage order; one reference per page (plus the
+    per-row callback). *)
+
+val set_policy : t -> Db.policy -> unit
+(** Re-open the table under a different replacement policy: the old
+    container is torn down (dirty pages flushed, frames returned) and
+    the same persistent object is mapped again under the new policy.
+    Resident pages must refault — switching policies is not free. *)

@@ -1,0 +1,67 @@
+open Hipec_sim
+open Hipec_vm
+
+type stats = { elapsed : Sim_time.t; faults : int }
+
+let measure db f =
+  let t0 = Db.now db in
+  let f0 = Task.faults (Db.task db) in
+  let result = f () in
+  ( result,
+    { elapsed = Sim_time.sub (Db.now db) t0; faults = Task.faults (Db.task db) - f0 } )
+
+let select_count db table ~pred =
+  measure db (fun () ->
+      let count = ref 0 in
+      Heap_table.scan table ~f:(fun ~row:_ ~key -> if pred key then incr count);
+      !count)
+
+let point_lookup db index table ~key =
+  measure db (fun () ->
+      match Btree.search index ~key with
+      | None -> None
+      | Some row -> Some (Heap_table.read_row table row))
+
+let index_lookups db index table ~keys =
+  measure db (fun () ->
+      Array.fold_left
+        (fun hits key ->
+          match Btree.search index ~key with
+          | None -> hits
+          | Some row ->
+              ignore (Heap_table.read_row table row);
+              hits + 1)
+        0 keys)
+
+let nested_loop_join db ~outer ~inner =
+  measure db (fun () ->
+      let matches = ref 0 in
+      (* for each inner row, rescan the outer table (paper §5.3) *)
+      for inner_row = 0 to Heap_table.row_count inner - 1 do
+        let inner_key = Heap_table.read_row inner inner_row in
+        Heap_table.scan outer ~f:(fun ~row:_ ~key ->
+            if key = inner_key then incr matches)
+      done;
+      !matches)
+
+let range_lookup db index table ~lo ~hi =
+  measure db (fun () ->
+      List.map (fun (key, row) -> (key, Heap_table.read_row table row))
+        (Btree.range index ~lo ~hi))
+
+let hash_join db ~outer ~inner =
+  measure db (fun () ->
+      let table = Hashtbl.create 64 in
+      Heap_table.scan inner ~f:(fun ~row:_ ~key ->
+          Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key)));
+      let matches = ref 0 in
+      Heap_table.scan outer ~f:(fun ~row:_ ~key ->
+          match Hashtbl.find_opt table key with
+          | Some n -> matches := !matches + n
+          | None -> ());
+      !matches)
+
+let with_table_policy table policy f =
+  let previous = Heap_table.policy table in
+  Heap_table.set_policy table policy;
+  Fun.protect ~finally:(fun () -> Heap_table.set_policy table previous) f

@@ -1,0 +1,44 @@
+(** Query operators over heap tables and B+-tree indexes, each reporting
+    the simulated cost of its storage accesses.
+
+    The planner-ish helper {!with_table_policy} is the database making
+    the paper's point: pick the replacement policy per access path
+    (MRU for the nested-loop join's cyclic scans, LRU for point
+    lookups) instead of living with the kernel's single global one. *)
+
+open Hipec_sim
+
+type stats = {
+  elapsed : Sim_time.t;
+  faults : int;  (** faults the query caused on the server task *)
+}
+
+val select_count : Db.t -> Heap_table.t -> pred:(int -> bool) -> int * stats
+(** Rows whose key satisfies the predicate; one full scan. *)
+
+val point_lookup : Db.t -> Btree.t -> Heap_table.t -> key:int -> int option * stats
+(** Index search, then fetch the row; returns its key. *)
+
+val index_lookups : Db.t -> Btree.t -> Heap_table.t -> keys:int array -> int * stats
+(** A batch of point lookups; returns the hit count. *)
+
+val range_lookup :
+  Db.t -> Btree.t -> Heap_table.t -> lo:int -> hi:int -> (int * int) list * stats
+(** Index range scan, fetching each row: [(key, row_key)] pairs. *)
+
+val nested_loop_join : Db.t -> outer:Heap_table.t -> inner:Heap_table.t -> int * stats
+(** Count key-equality matches; the inner table is scanned once per
+    inner row against the whole outer table (the paper's §5.3 shape:
+    the outer table is rescanned per inner tuple). *)
+
+val hash_join : Db.t -> outer:Heap_table.t -> inner:Heap_table.t -> int * stats
+(** Build a hash table over the inner keys, then probe it in a single
+    outer scan — each table read exactly once, so no replacement policy
+    can do better than free-behind.  The algorithmic alternative to
+    fixing the nested-loop join with MRU. *)
+
+val with_table_policy : Heap_table.t -> Db.policy -> (unit -> 'a) -> 'a
+(** Run a query body with the table re-opened under [policy], restoring
+    the previous policy afterwards (both switches cost real refaults —
+    worth it only when the query is big, exactly the call a real
+    database planner would make). *)

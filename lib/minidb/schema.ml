@@ -1,0 +1,16 @@
+let page_size = Hipec_machine.Frame.page_size
+
+type t = { tuple_bytes : int; tuples_per_page : int }
+
+let create ?(tuple_bytes = 64) () =
+  if tuple_bytes <= 0 || page_size mod tuple_bytes <> 0 then
+    invalid_arg "Schema.create: tuple size must divide the page size";
+  { tuple_bytes; tuples_per_page = page_size / tuple_bytes }
+
+let tuple_bytes t = t.tuple_bytes
+let tuples_per_page t = t.tuples_per_page
+let page_of_row t row = row / t.tuples_per_page
+
+let pages_for_rows t n =
+  if n < 0 then invalid_arg "Schema.pages_for_rows: negative";
+  (n + t.tuples_per_page - 1) / t.tuples_per_page

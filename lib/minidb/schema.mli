@@ -1,0 +1,22 @@
+(** Record layout for the mini database (paper §6: "we plan to design a
+    database management system that uses HiPEC").
+
+    Tuples are fixed width, as in the paper's join experiment (64-byte
+    tuples, 64 per 4 KB page).  Tuple {e contents} live beside the
+    simulation (the machine model prices accesses; it does not store
+    bytes): each row is an integer key plus an opaque payload width. *)
+
+type t
+
+val create : ?tuple_bytes:int -> unit -> t
+(** Default 64-byte tuples.  Raises [Invalid_argument] unless the width
+    divides the page size. *)
+
+val tuple_bytes : t -> int
+val tuples_per_page : t -> int
+
+val page_of_row : t -> int -> int
+(** Which page of the table's region holds row [i]. *)
+
+val pages_for_rows : t -> int -> int
+(** Region size needed for [n] rows. *)

@@ -1,0 +1,83 @@
+let runs_needed ~rows ~run_rows =
+  if rows <= 0 || run_rows <= 0 then invalid_arg "Sort.runs_needed: non-positive";
+  (rows + run_rows - 1) / run_rows
+
+(* Phase 1: sorted runs, each a scratch heap table (its creation writes
+   the run's pages through the kernel). *)
+let make_runs db input ~run_rows ~name =
+  let rows = Heap_table.row_count input in
+  let nruns = runs_needed ~rows ~run_rows in
+  List.init nruns (fun r ->
+      let lo = r * run_rows in
+      let len = min run_rows (rows - lo) in
+      let chunk = Array.init len (fun i -> Heap_table.read_row input (lo + i)) in
+      Array.sort compare chunk;
+      Heap_table.create db ~name:(Printf.sprintf "%s.run%d" name r)
+        ~buffer_pages:16 ~keys:chunk ())
+
+(* Phase 2: k-way merge, reading each run sequentially through the
+   kernel exactly once. *)
+let merge_runs runs ~total_rows =
+  let k = List.length runs in
+  let runs = Array.of_list runs in
+  let positions = Array.make k 0 in
+  let out = Array.make total_rows 0 in
+  for slot = 0 to total_rows - 1 do
+    let best = ref (-1) in
+    for r = 0 to k - 1 do
+      if positions.(r) < Heap_table.row_count runs.(r) then
+        match !best with
+        | -1 -> best := r
+        | b ->
+            (* peek without a second kernel access: the row was already
+               read when it became this run's head (see below) *)
+            if
+              Heap_table.read_row runs.(r) positions.(r)
+              < Heap_table.read_row runs.(b) positions.(b)
+            then best := r
+    done;
+    let r = !best in
+    out.(slot) <- Heap_table.read_row runs.(r) positions.(r);
+    positions.(r) <- positions.(r) + 1
+  done;
+  out
+
+let sort db input ?(run_rows = 4_096) ~name () =
+  if run_rows <= 0 then invalid_arg "Sort.sort: run_rows <= 0";
+  let rows = Heap_table.row_count input in
+  let runs = make_runs db input ~run_rows ~name in
+  let merged =
+    match runs with
+    | [ only ] -> Array.init rows (fun i -> Heap_table.read_row only i)
+    | _ -> merge_runs runs ~total_rows:rows
+  in
+  Heap_table.create db ~name ~keys:merged ()
+
+(* Merge two sorted tables counting cross-products of equal-key groups. *)
+let sort_merge_join db ~outer ~inner =
+  let sorted_outer = sort db outer ~name:(Heap_table.name outer ^ ".sorted") () in
+  let sorted_inner = sort db inner ~name:(Heap_table.name inner ^ ".sorted") () in
+  let n = Heap_table.row_count sorted_outer and m = Heap_table.row_count sorted_inner in
+  let matches = ref 0 in
+  let i = ref 0 and j = ref 0 in
+  while !i < n && !j < m do
+    let a = Heap_table.read_row sorted_outer !i in
+    let b = Heap_table.read_row sorted_inner !j in
+    if a < b then incr i
+    else if a > b then incr j
+    else begin
+      (* count both equal groups and multiply *)
+      let gi = ref 0 in
+      while !i < n && Heap_table.read_row sorted_outer !i = a do
+        incr gi;
+        incr i
+      done;
+      let gj = ref 0 in
+      while !j < m && Heap_table.read_row sorted_inner !j = a do
+        incr gj;
+        incr j
+      done;
+      matches := !matches + (!gi * !gj)
+    end
+  done;
+  !matches

@@ -1,0 +1,22 @@
+(** External merge sort over heap tables.
+
+    The classic two-phase algorithm: run generation reads the input
+    sequentially in memory-sized chunks and writes each sorted run out
+    as a scratch table; a k-way merge then reads every run sequentially
+    once and bulk-loads the sorted result.  All page traffic flows
+    through the kernel, so runs and merges page like the real thing —
+    and every phase is sequential, the pattern a free-behind/FIFO
+    policy serves best. *)
+
+val sort : Db.t -> Heap_table.t -> ?run_rows:int -> name:string -> unit -> Heap_table.t
+(** A new table with the same keys in ascending order.  [run_rows]
+    (default 4096) bounds the in-memory sort chunk, i.e. the run
+    length. *)
+
+val runs_needed : rows:int -> run_rows:int -> int
+
+val sort_merge_join : Db.t -> outer:Heap_table.t -> inner:Heap_table.t -> int
+(** Count key-equality matches by sorting both inputs and merging,
+    handling duplicate keys (the match count is the product of the two
+    groups' sizes).  Same answer as {!Query.hash_join} and
+    {!Query.nested_loop_join}. *)

@@ -1,0 +1,36 @@
+type binop = Add | Sub | Mul | Div | Rem
+
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+type iexpr = Int_lit of int | Var of string | Binop of binop * iexpr * iexpr
+
+type cond =
+  | Cmp of cmp * iexpr * iexpr
+  | Empty of string
+  | In_queue of string
+  | Referenced
+  | Modified
+  | Request of int
+  | Release_n of iexpr
+  | Evict of [ `Fifo | `Lru | `Mru ] * string
+  | Find of iexpr
+  | Not of cond
+  | And of cond * cond
+  | Or of cond * cond
+
+type stmt =
+  | Assign of string * iexpr
+  | Dequeue of [ `Head | `Tail ] * string
+  | Enqueue of [ `Head | `Tail ] * string
+  | Flush
+  | Set_bit of [ `Set | `Reset ] * [ `Reference | `Modify ]
+  | Cond_stmt of cond
+  | Activate of string
+  | If of cond * stmt list * stmt list
+  | While of cond * stmt list
+  | Return_page
+  | Return_void
+
+type event_decl = { event_name : string; body : stmt list; decl_line : int }
+
+type program = { vars : (string * int) list; events : event_decl list }

@@ -1,0 +1,51 @@
+(** Abstract syntax of the pseudo-code policy language.
+
+    The surface language of the paper's Figure 4: events as procedures,
+    C-like statements, built-in paging primitives. *)
+
+type binop = Add | Sub | Mul | Div | Rem
+
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+(** Integer expressions. *)
+type iexpr =
+  | Int_lit of int
+  | Var of string  (** an int variable or count (e.g. [_free_count]) *)
+  | Binop of binop * iexpr * iexpr
+
+(** Boolean conditions; compiled to test+branch sequences. *)
+type cond =
+  | Cmp of cmp * iexpr * iexpr
+  | Empty of string  (** [empty(q)] *)
+  | In_queue of string  (** [in_queue(q)] — tests the page register *)
+  | Referenced  (** [referenced(page)] *)
+  | Modified  (** [modified(page)] *)
+  | Request of int  (** [request(n)] — grant test *)
+  | Release_n of iexpr  (** [release(n)] — full-release test *)
+  | Evict of [ `Fifo | `Lru | `Mru ] * string  (** [fifo(q)] etc.: victim found? *)
+  | Find of iexpr  (** [find(va)]: resident page located? *)
+  | Not of cond
+  | And of cond * cond
+  | Or of cond * cond
+
+type stmt =
+  | Assign of string * iexpr  (** [x = e] *)
+  | Dequeue of [ `Head | `Tail ] * string  (** [page = dequeue_head(q)] *)
+  | Enqueue of [ `Head | `Tail ] * string  (** [enqueue_tail(q, page)] *)
+  | Flush  (** [flush(page)] *)
+  | Set_bit of [ `Set | `Reset ] * [ `Reference | `Modify ]
+      (** [reset_reference(page)] and friends *)
+  | Cond_stmt of cond  (** a condition in statement position, e.g. bare
+                           [request(16)] or [fifo(q)] — run for effect *)
+  | Activate of string  (** [EventName()] *)
+  | If of cond * stmt list * stmt list
+  | While of cond * stmt list
+  | Return_page
+  | Return_void
+
+type event_decl = { event_name : string; body : stmt list; decl_line : int }
+
+type program = {
+  vars : (string * int) list;  (** [var x = n] declarations, in order *)
+  events : event_decl list;
+}

@@ -1,0 +1,22 @@
+(** Compile pseudo-code AST to HiPEC command streams.
+
+    Symbol mapping: the built-in names ([_free_queue], [_free_count],
+    [free_target], [page], ...) resolve to the standard operand slots
+    ({!Hipec_core.Operand.Std}); [var] declarations, integer literals
+    and expression temporaries are allocated user slots from 0x10 up.
+
+    Events are numbered: [PageFault] = 0, [ReclaimFrame] = 1, further
+    events in declaration order from 2 — both mandatory events must be
+    declared. *)
+
+open Hipec_core
+
+type output = {
+  program : Program.t;
+  extra_operands : (int * Operand.value) list;
+      (** user variables, the literal pool and temporaries — pass to
+          {!Api.spec}'s [extra_operands] *)
+  event_numbers : (string * int) list;
+}
+
+val compile : Ast.program -> (output, string) result

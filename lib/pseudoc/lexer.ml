@@ -1,0 +1,147 @@
+let keyword = function
+  | "event" -> Some Token.Kw_event
+  | "var" -> Some Token.Kw_var
+  | "if" -> Some Token.Kw_if
+  | "else" -> Some Token.Kw_else
+  | "while" -> Some Token.Kw_while
+  | "return" -> Some Token.Kw_return
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable column : int;
+}
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let bump st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.column <- 1
+  | Some _ -> st.column <- st.column + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let error st msg = Error (Printf.sprintf "line %d, column %d: %s" st.line st.column msg)
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; column = 1 } in
+  let out = ref [] in
+  let emit token line column = out := { Token.token; line; column } :: !out in
+  let rec skip_block_comment () =
+    match (peek st, peek2 st) with
+    | Some '*', Some '/' ->
+        bump st;
+        bump st;
+        Ok ()
+    | Some _, _ ->
+        bump st;
+        skip_block_comment ()
+    | None, _ -> error st "unterminated comment"
+  in
+  let rec loop () =
+    match peek st with
+    | None ->
+        emit Token.Eof st.line st.column;
+        Ok (List.rev !out)
+    | Some c -> (
+        let line = st.line and column = st.column in
+        match c with
+        | ' ' | '\t' | '\r' | '\n' ->
+            bump st;
+            loop ()
+        | '#' ->
+            while peek st <> None && peek st <> Some '\n' do
+              bump st
+            done;
+            loop ()
+        | '/' when peek2 st = Some '/' ->
+            while peek st <> None && peek st <> Some '\n' do
+              bump st
+            done;
+            loop ()
+        | '/' when peek2 st = Some '*' ->
+            bump st;
+            bump st;
+            Result.bind (skip_block_comment ()) (fun () -> loop ())
+        | '(' -> bump st; emit Token.Lparen line column; loop ()
+        | ')' -> bump st; emit Token.Rparen line column; loop ()
+        | '{' -> bump st; emit Token.Lbrace line column; loop ()
+        | '}' -> bump st; emit Token.Rbrace line column; loop ()
+        | ',' -> bump st; emit Token.Comma line column; loop ()
+        | ';' -> bump st; emit Token.Semicolon line column; loop ()
+        | '+' -> bump st; emit Token.Plus line column; loop ()
+        | '-' -> bump st; emit Token.Minus line column; loop ()
+        | '*' -> bump st; emit Token.Star line column; loop ()
+        | '/' -> bump st; emit Token.Slash line column; loop ()
+        | '%' -> bump st; emit Token.Percent line column; loop ()
+        | '=' ->
+            bump st;
+            if peek st = Some '=' then begin bump st; emit Token.Eq line column end
+            else emit Token.Assign line column;
+            loop ()
+        | '!' ->
+            bump st;
+            if peek st = Some '=' then begin bump st; emit Token.Ne line column end
+            else emit Token.Bang line column;
+            loop ()
+        | '<' ->
+            bump st;
+            if peek st = Some '=' then begin bump st; emit Token.Le line column end
+            else emit Token.Lt line column;
+            loop ()
+        | '>' ->
+            bump st;
+            if peek st = Some '=' then begin bump st; emit Token.Ge line column end
+            else emit Token.Gt line column;
+            loop ()
+        | '&' ->
+            bump st;
+            if peek st = Some '&' then begin
+              bump st;
+              emit Token.And_and line column;
+              loop ()
+            end
+            else error st "expected '&&'"
+        | '|' ->
+            bump st;
+            if peek st = Some '|' then begin
+              bump st;
+              emit Token.Or_or line column;
+              loop ()
+            end
+            else error st "expected '||'"
+        | c when is_digit c ->
+            let start = st.pos in
+            while (match peek st with Some c -> is_digit c | None -> false) do
+              bump st
+            done;
+            let text = String.sub st.src start (st.pos - start) in
+            (match int_of_string_opt text with
+            | Some n ->
+                emit (Token.Int_lit n) line column;
+                loop ()
+            | None -> error st ("bad integer literal " ^ text))
+        | c when is_ident_start c ->
+            let start = st.pos in
+            while (match peek st with Some c -> is_ident_char c | None -> false) do
+              bump st
+            done;
+            let text = String.sub st.src start (st.pos - start) in
+            (match keyword text with
+            | Some kw -> emit kw line column
+            | None -> emit (Token.Ident text) line column);
+            loop ()
+        | c -> error st (Printf.sprintf "unexpected character %C" c))
+  in
+  loop ()

@@ -1,0 +1,8 @@
+(** Lexer for the pseudo-code language.
+
+    Comments run from [//] or [#] to end of line, or between [/*] and
+    [*/]. *)
+
+val tokenize : string -> (Token.located list, string) result
+(** The list always ends with an [Eof] token.  Errors carry
+    line/column context. *)

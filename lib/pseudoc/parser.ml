@@ -1,0 +1,356 @@
+exception Parse_error of string
+
+type state = { tokens : Token.located array; mutable pos : int }
+
+let cur st = st.tokens.(st.pos)
+let peek_token st = (cur st).Token.token
+
+let fail st msg =
+  let { Token.token; line; column } = cur st in
+  raise
+    (Parse_error
+       (Printf.sprintf "line %d, column %d: %s (found %s)" line column msg
+          (Token.describe token)))
+
+let advance st = if st.pos < Array.length st.tokens - 1 then st.pos <- st.pos + 1
+
+let expect st token msg =
+  if peek_token st = token then advance st else fail st msg
+
+let accept st token =
+  if peek_token st = token then begin
+    advance st;
+    true
+  end
+  else false
+
+let skip_semis st = while accept st Token.Semicolon do () done
+
+let ident st msg =
+  match peek_token st with
+  | Token.Ident name ->
+      advance st;
+      name
+  | _ -> fail st msg
+
+(* ------------------------------------------------------------------ *)
+(* Integer expressions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_iexpr st =
+  let lhs = parse_term st in
+  let rec loop lhs =
+    match peek_token st with
+    | Token.Plus ->
+        advance st;
+        loop (Ast.Binop (Ast.Add, lhs, parse_term st))
+    | Token.Minus ->
+        advance st;
+        loop (Ast.Binop (Ast.Sub, lhs, parse_term st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_term st =
+  let lhs = parse_factor st in
+  let rec loop lhs =
+    match peek_token st with
+    | Token.Star ->
+        advance st;
+        loop (Ast.Binop (Ast.Mul, lhs, parse_factor st))
+    | Token.Slash ->
+        advance st;
+        loop (Ast.Binop (Ast.Div, lhs, parse_factor st))
+    | Token.Percent ->
+        advance st;
+        loop (Ast.Binop (Ast.Rem, lhs, parse_factor st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_factor st =
+  match peek_token st with
+  | Token.Int_lit n ->
+      advance st;
+      Ast.Int_lit n
+  | Token.Minus ->
+      advance st;
+      Ast.Binop (Ast.Sub, Ast.Int_lit 0, parse_factor st)
+  | Token.Ident name ->
+      advance st;
+      Ast.Var name
+  | Token.Lparen ->
+      advance st;
+      let e = parse_iexpr st in
+      expect st Token.Rparen "expected ')'";
+      e
+  | _ -> fail st "expected an integer expression"
+
+(* ------------------------------------------------------------------ *)
+(* Conditions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let cmp_of_token = function
+  | Token.Lt -> Some Ast.Lt
+  | Token.Le -> Some Ast.Le
+  | Token.Gt -> Some Ast.Gt
+  | Token.Ge -> Some Ast.Ge
+  | Token.Eq -> Some Ast.Eq
+  | Token.Ne -> Some Ast.Ne
+  | _ -> None
+
+let int_literal st msg =
+  match peek_token st with
+  | Token.Int_lit n ->
+      advance st;
+      n
+  | _ -> fail st msg
+
+let page_arg st =
+  (* "(page)" or "()" — the page register is implicit *)
+  expect st Token.Lparen "expected '('";
+  (match peek_token st with
+  | Token.Ident "page" -> advance st
+  | _ -> ());
+  expect st Token.Rparen "expected ')'"
+
+let queue_arg st =
+  expect st Token.Lparen "expected '('";
+  let q = ident st "expected a queue name" in
+  expect st Token.Rparen "expected ')'";
+  q
+
+(* A builtin appearing in condition position, or None if [name] is not
+   a condition builtin. *)
+let rec builtin_cond st name =
+  match name with
+  | "empty" -> Some (Ast.Empty (queue_arg st))
+  | "in_queue" ->
+      expect st Token.Lparen "expected '('";
+      let q = ident st "expected a queue name" in
+      if accept st Token.Comma then begin
+        match peek_token st with
+        | Token.Ident "page" -> advance st
+        | _ -> fail st "expected 'page'"
+      end;
+      expect st Token.Rparen "expected ')'";
+      Some (Ast.In_queue q)
+  | "referenced" ->
+      page_arg st;
+      Some Ast.Referenced
+  | "modified" | "dirty" ->
+      page_arg st;
+      Some Ast.Modified
+  | "request" ->
+      expect st Token.Lparen "expected '('";
+      let n = int_literal st "request takes an integer literal" in
+      expect st Token.Rparen "expected ')'";
+      Some (Ast.Request n)
+  | "release" ->
+      expect st Token.Lparen "expected '('";
+      let e = parse_iexpr st in
+      expect st Token.Rparen "expected ')'";
+      Some (Ast.Release_n e)
+  | "fifo" -> Some (Ast.Evict (`Fifo, queue_arg st))
+  | "lru" -> Some (Ast.Evict (`Lru, queue_arg st))
+  | "mru" -> Some (Ast.Evict (`Mru, queue_arg st))
+  | "find" ->
+      expect st Token.Lparen "expected '('";
+      let e = parse_iexpr st in
+      expect st Token.Rparen "expected ')'";
+      Some (Ast.Find e)
+  | _ -> None
+
+and parse_cond st =
+  let lhs = parse_and st in
+  let rec loop lhs =
+    if accept st Token.Or_or then loop (Ast.Or (lhs, parse_and st)) else lhs
+  in
+  loop lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  let rec loop lhs =
+    if accept st Token.And_and then loop (Ast.And (lhs, parse_not st)) else lhs
+  in
+  loop lhs
+
+and parse_not st =
+  if accept st Token.Bang then Ast.Not (parse_not st) else parse_cond_atom st
+
+and parse_cond_atom st =
+  match peek_token st with
+  | Token.Lparen -> (
+      (* backtrack: "(cond)" vs "(iexpr) CMP iexpr" *)
+      let saved = st.pos in
+      advance st;
+      match
+        try
+          let c = parse_cond st in
+          expect st Token.Rparen "expected ')'";
+          (* if a comparison operator follows, it was an iexpr after all *)
+          if cmp_of_token (peek_token st) <> None then None else Some c
+        with Parse_error _ -> None
+      with
+      | Some c -> c
+      | None ->
+          st.pos <- saved;
+          parse_comparison st)
+  | Token.Ident name when builtin_cond_name name -> (
+      advance st;
+      match builtin_cond st name with
+      | Some c -> c
+      | None -> fail st "expected a condition")
+  | _ -> parse_comparison st
+
+and builtin_cond_name = function
+  | "empty" | "in_queue" | "referenced" | "modified" | "dirty" | "request" | "release"
+  | "fifo" | "lru" | "mru" | "find" ->
+      true
+  | _ -> false
+
+and parse_comparison st =
+  let lhs = parse_iexpr st in
+  match cmp_of_token (peek_token st) with
+  | Some op ->
+      advance st;
+      let rhs = parse_iexpr st in
+      Ast.Cmp (op, lhs, rhs)
+  | None -> fail st "expected a comparison operator"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_block st =
+  expect st Token.Lbrace "expected '{'";
+  let rec loop acc =
+    skip_semis st;
+    if accept st Token.Rbrace then List.rev acc else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_block_or_stmt st =
+  if peek_token st = Token.Lbrace then parse_block st else [ parse_stmt st ]
+
+and parse_stmt st =
+  match peek_token st with
+  | Token.Kw_if ->
+      advance st;
+      expect st Token.Lparen "expected '(' after if";
+      let c = parse_cond st in
+      expect st Token.Rparen "expected ')'";
+      let then_branch = parse_block_or_stmt st in
+      let else_branch =
+        if accept st Token.Kw_else then parse_block_or_stmt st else []
+      in
+      Ast.If (c, then_branch, else_branch)
+  | Token.Kw_while ->
+      advance st;
+      expect st Token.Lparen "expected '(' after while";
+      let c = parse_cond st in
+      expect st Token.Rparen "expected ')'";
+      Ast.While (c, parse_block_or_stmt st)
+  | Token.Kw_return ->
+      advance st;
+      if peek_token st = Token.Ident "page" then begin
+        advance st;
+        Ast.Return_page
+      end
+      else Ast.Return_void
+  | Token.Ident name -> parse_ident_stmt st name
+  | _ -> fail st "expected a statement"
+
+and parse_ident_stmt st name =
+  advance st;
+  match peek_token st with
+  | Token.Assign -> (
+      advance st;
+      (* page = dequeue_*(...), or integer assignment *)
+      match (name, peek_token st) with
+      | "page", Token.Ident "dequeue_head" ->
+          advance st;
+          Ast.Dequeue (`Head, queue_arg st)
+      | "page", Token.Ident "dequeue_tail" ->
+          advance st;
+          Ast.Dequeue (`Tail, queue_arg st)
+      | "page", _ -> fail st "page can only be assigned from dequeue_head/dequeue_tail"
+      | _, _ -> Ast.Assign (name, parse_iexpr st))
+  | Token.Lparen -> (
+      match name with
+      | "enqueue_head" | "enqueue_tail" ->
+          expect st Token.Lparen "expected '('";
+          let q = ident st "expected a queue name" in
+          if accept st Token.Comma then begin
+            match peek_token st with
+            | Token.Ident "page" -> advance st
+            | _ -> fail st "expected 'page'"
+          end;
+          expect st Token.Rparen "expected ')'";
+          Ast.Enqueue ((if name = "enqueue_head" then `Head else `Tail), q)
+      | "flush" ->
+          page_arg st;
+          Ast.Flush
+      | "set_reference" | "set" ->
+          page_arg st;
+          Ast.Set_bit (`Set, `Reference)
+      | "reset_reference" | "reset" ->
+          page_arg st;
+          Ast.Set_bit (`Reset, `Reference)
+      | "set_modified" ->
+          page_arg st;
+          Ast.Set_bit (`Set, `Modify)
+      | "reset_modified" | "clean" ->
+          page_arg st;
+          Ast.Set_bit (`Reset, `Modify)
+      | _ -> (
+          match builtin_cond st name with
+          | Some c -> Ast.Cond_stmt c
+          | None ->
+              (* user event activation: Name() *)
+              expect st Token.Lparen "expected '('";
+              expect st Token.Rparen "expected ')'";
+              Ast.Activate name))
+  | _ -> fail st "expected '=' or '(' after identifier"
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_var st =
+  expect st Token.Kw_var "expected 'var'";
+  let name = ident st "expected a variable name" in
+  let init =
+    if accept st Token.Assign then begin
+      let neg = accept st Token.Minus in
+      let n = int_literal st "expected an integer initializer" in
+      if neg then -n else n
+    end
+    else 0
+  in
+  (name, init)
+
+let parse_event st =
+  let line = (cur st).Token.line in
+  expect st Token.Kw_event "expected 'event'";
+  let name = ident st "expected an event name" in
+  expect st Token.Lparen "expected '('";
+  expect st Token.Rparen "expected ')'";
+  let body = parse_block st in
+  { Ast.event_name = name; body; decl_line = line }
+
+let parse tokens =
+  let st = { tokens = Array.of_list tokens; pos = 0 } in
+  try
+    let rec loop vars events =
+      skip_semis st;
+      match peek_token st with
+      | Token.Eof -> Ok { Ast.vars = List.rev vars; events = List.rev events }
+      | Token.Kw_var -> loop (parse_var st :: vars) events
+      | Token.Kw_event -> loop vars (parse_event st :: events)
+      | _ -> fail st "expected 'event' or 'var' at top level"
+    in
+    loop [] []
+  with Parse_error msg -> Error msg
+
+let parse_string src = Result.bind (Lexer.tokenize src) parse

@@ -1,0 +1,31 @@
+(** Recursive-descent parser for the pseudo-code policy language.
+
+    Grammar sketch (semicolons optional, as in the paper's Figure 4):
+
+    {v
+    program   := (var | event)*
+    var       := "var" IDENT ["=" ["-"] INT]
+    event     := "event" IDENT "(" ")" block
+    block     := "{" stmt* "}"
+    stmt      := "if" "(" cond ")" block ["else" (block | stmt)]
+               | "while" "(" cond ")" block
+               | "return" ["page"]
+               | IDENT "=" ("dequeue_head"|"dequeue_tail") "(" IDENT ")"
+               | IDENT "=" iexpr
+               | call
+    call      := enqueue_head/enqueue_tail "(" IDENT "," "page" ")"
+               | flush/referenced/modified/set_reference/... "(" "page" ")"
+               | request "(" INT ")" | release "(" iexpr ")"
+               | fifo/lru/mru "(" IDENT ")" | find "(" iexpr ")"
+               | EVENT_NAME "(" ")"
+    cond      := and ("||" and)* ; and := not ("&&" not)* ;
+    not       := "!" not | atom
+    atom      := "(" cond ")" | builtin-test | iexpr CMP iexpr
+    iexpr     := term (("+"|"-") term)* ; term := factor (("*"|"/"|"%") factor)*
+    factor    := INT | IDENT | "(" iexpr ")" | "-" factor
+    v} *)
+
+val parse : Token.located list -> (Ast.program, string) result
+
+val parse_string : string -> (Ast.program, string) result
+(** Lex and parse. *)

@@ -1,0 +1,67 @@
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Kw_event
+  | Kw_var
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_return
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Comma
+  | Semicolon
+  | Assign
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | And_and
+  | Or_or
+  | Bang
+  | Eof
+
+type located = { token : t; line : int; column : int }
+
+let describe = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int_lit n -> Printf.sprintf "integer %d" n
+  | Kw_event -> "'event'"
+  | Kw_var -> "'var'"
+  | Kw_if -> "'if'"
+  | Kw_else -> "'else'"
+  | Kw_while -> "'while'"
+  | Kw_return -> "'return'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Comma -> "','"
+  | Semicolon -> "';'"
+  | Assign -> "'='"
+  | Eq -> "'=='"
+  | Ne -> "'!='"
+  | Lt -> "'<'"
+  | Le -> "'<='"
+  | Gt -> "'>'"
+  | Ge -> "'>='"
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Star -> "'*'"
+  | Slash -> "'/'"
+  | Percent -> "'%'"
+  | And_and -> "'&&'"
+  | Or_or -> "'||'"
+  | Bang -> "'!'"
+  | Eof -> "end of input"
+
+let pp fmt t = Format.pp_print_string fmt (describe t)

@@ -1,0 +1,38 @@
+(** Tokens of the HiPEC pseudo-code language (paper §4.3.4, Figure 4). *)
+
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Kw_event
+  | Kw_var
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_return
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Comma
+  | Semicolon
+  | Assign  (** = *)
+  | Eq  (** == *)
+  | Ne  (** != *)
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | And_and
+  | Or_or
+  | Bang
+  | Eof
+
+type located = { token : t; line : int; column : int }
+
+val pp : Format.formatter -> t -> unit
+val describe : t -> string

@@ -1,0 +1,77 @@
+open Hipec_core
+
+let translate ?(optimize = true) src =
+  Result.map
+    (fun out ->
+      if optimize then
+        { out with Codegen.program = Optimizer.optimize out.Codegen.program }
+      else out)
+    (Result.bind (Parser.parse_string src) Codegen.compile)
+
+let to_spec src ~min_frames =
+  Result.map
+    (fun out ->
+      {
+        (Api.default_spec ~policy:out.Codegen.program ~min_frames) with
+        Api.extra_operands = out.Codegen.extra_operands;
+      })
+    (translate src)
+
+let listing out = Format.asprintf "%a" Program.pp out.Codegen.program
+
+(* Figure 4 of the paper, with explicit empty-queue guards (this
+   kernel's DeQueue treats dequeueing an empty queue as a policy error,
+   so well-formed programs test first). *)
+let figure4_source =
+  {|
+var one = 1
+
+event PageFault() {
+  if (_free_count > reserve_target) {
+    page = dequeue_head(_free_queue)
+  } else {
+    Lack_free_frame()
+    page = dequeue_head(_free_queue)
+  }
+  return page
+}
+
+event Lack_free_frame() {
+  /* FIFO with 2nd Chance */
+  while (_inactive_count < inactive_target && !empty(_active_queue)) {
+    page = dequeue_head(_active_queue)
+    reset_reference(page)
+    enqueue_tail(_inactive_queue, page)
+  }
+  while (_free_count < free_target && !empty(_inactive_queue)) {
+    page = dequeue_head(_inactive_queue)
+    if (referenced(page)) {
+      enqueue_tail(_active_queue, page)
+      reset_reference(page)
+    } else {
+      if (modified(page)) {
+        flush(page)
+      }
+      enqueue_head(_free_queue, page)
+    }
+  }
+}
+
+event ReclaimFrame() {
+  while (_reclaim_target > 0) {
+    if (empty(_free_queue)) {
+      if (!empty(_inactive_queue)) {
+        fifo(_inactive_queue)
+      } else {
+        if (!empty(_active_queue)) {
+          fifo(_active_queue)
+        } else {
+          return
+        }
+      }
+    }
+    release(one)
+    _reclaim_target = _reclaim_target - 1
+  }
+}
+|}

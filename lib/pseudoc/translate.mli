@@ -1,0 +1,22 @@
+(** The user-level pseudo-code translator (paper §4.3.4): source text in
+    the C-like policy language of Figure 4 down to a validated HiPEC
+    program plus the operand declarations it needs. *)
+
+open Hipec_core
+
+val translate : ?optimize:bool -> string -> (Codegen.output, string) result
+(** Lex, parse, compile, and (by default) run the peephole
+    {!Optimizer}.  No semantic validation beyond name/type resolution —
+    run {!Checker.validate} (or go through {!Api}) before executing, as
+    the kernel's security checker always does. *)
+
+val to_spec : string -> min_frames:int -> (Api.spec, string) result
+(** Convenience: translate and package as an {!Api.spec} ready for
+    [vm_allocate_hipec] / [vm_map_hipec]. *)
+
+val listing : Codegen.output -> string
+(** Table 2-style disassembly of the translated program. *)
+
+val figure4_source : string
+(** The paper's Figure 4 program (FIFO with second chance), in this
+    translator's concrete syntax — used by tests and examples. *)

@@ -1,0 +1,89 @@
+type handle = { mutable cancelled : bool; daemon : bool }
+
+type event = { fire : t -> unit; token : handle }
+
+and t = {
+  mutable clock : Sim_time.t;
+  queue : event Event_queue.t;
+  mutable live : int;  (* non-daemon, not cancelled *)
+  mutable live_daemon : int;
+  mutable stopping : bool;
+}
+
+let create () =
+  {
+    clock = Sim_time.zero;
+    queue = Event_queue.create ();
+    live = 0;
+    live_daemon = 0;
+    stopping = false;
+  }
+
+let now t = t.clock
+let advance t d = t.clock <- Sim_time.add t.clock d
+
+let schedule_at t ?(daemon = false) ~at fire =
+  if Sim_time.(at < t.clock) then invalid_arg "Engine.schedule_at: time in the past";
+  let token = { cancelled = false; daemon } in
+  Event_queue.add t.queue ~time:at { fire; token };
+  if daemon then t.live_daemon <- t.live_daemon + 1 else t.live <- t.live + 1;
+  token
+
+let schedule t ?daemon ~after fire =
+  schedule_at t ?daemon ~at:(Sim_time.add t.clock after) fire
+
+let cancel t handle =
+  if not handle.cancelled then begin
+    handle.cancelled <- true;
+    if handle.daemon then t.live_daemon <- t.live_daemon - 1
+    else t.live <- t.live - 1
+  end
+
+let pending t = t.live
+let has_events t = t.live + t.live_daemon > 0
+
+let fire_next t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, { fire; token }) ->
+      if token.cancelled then false
+      else begin
+        if token.daemon then t.live_daemon <- t.live_daemon - 1 else t.live <- t.live - 1;
+        (* an [advance] inside a previous event may have pushed the clock
+           past this event's timestamp; the clock never moves backward *)
+        if Sim_time.(time > t.clock) then t.clock <- time;
+        fire t;
+        true
+      end
+
+(* Run the earliest event; with [daemons_too=false] stop once no live
+   non-daemon event remains. *)
+let rec step_gen t ~daemons_too =
+  if (not daemons_too) && t.live = 0 then false
+  else if not (has_events t) then false
+  else if fire_next t then true
+  else step_gen t ~daemons_too
+
+let step t = step_gen t ~daemons_too:false
+let step_any t = step_gen t ~daemons_too:true
+
+let run t =
+  t.stopping <- false;
+  let rec loop () = if (not t.stopping) && step t then loop () in
+  loop ()
+
+let run_until t limit =
+  t.stopping <- false;
+  let rec loop () =
+    if not t.stopping then
+      match Event_queue.peek t.queue with
+      | Some (time, _) when Sim_time.(time <= limit) ->
+          (* pops exactly the peeked event (skipping it when cancelled) *)
+          ignore (fire_next t);
+          loop ()
+      | Some _ | None -> ()
+  in
+  loop ();
+  if Sim_time.(t.clock < limit) then t.clock <- limit
+
+let stop t = t.stopping <- true

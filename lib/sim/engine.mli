@@ -1,0 +1,68 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock and a queue of scheduled callbacks.
+    Components either {e advance} the clock synchronously ([advance],
+    used to charge a CPU-style cost to the currently running activity)
+    or {e schedule} a callback for a future instant (used for
+    asynchronous completions such as disk I/O and periodic daemons).
+
+    Scheduled callbacks run in timestamp order; ties run in scheduling
+    order, so a run is a pure function of the initial state. *)
+
+type t
+
+type handle
+(** Cancellation token for a scheduled event. *)
+
+val create : unit -> t
+
+val now : t -> Sim_time.t
+(** Current virtual time. *)
+
+val advance : t -> Sim_time.t -> unit
+(** [advance t d] moves the clock forward by [d] immediately.  Use this
+    to charge a synchronous cost (instruction execution, trap entry...).
+    Events that were scheduled inside the skipped interval still run at
+    their own timestamps the next time the engine is stepped; their
+    timestamps never exceed their scheduled times. *)
+
+val schedule : t -> ?daemon:bool -> after:Sim_time.t -> (t -> unit) -> handle
+(** [schedule t ~after f] runs [f] at [now t + after].  A [daemon]
+    event (default false) never keeps the simulation alive: [run] and
+    [step] return once only daemon events remain, the way a daemon
+    thread does not block process exit.  Periodic services (the
+    security checker) are daemons; work completions (disk I/O) are
+    not. *)
+
+val schedule_at : t -> ?daemon:bool -> at:Sim_time.t -> (t -> unit) -> handle
+(** [schedule_at t ~at f] runs [f] at absolute time [at].  Raises
+    [Invalid_argument] if [at] is in the past. *)
+
+val cancel : t -> handle -> unit
+(** Cancel a pending event; cancelling a fired or already-cancelled
+    event is a no-op. *)
+
+val pending : t -> int
+(** Number of live (not cancelled) non-daemon scheduled events. *)
+
+val has_events : t -> bool
+(** Any live event at all, daemon or not. *)
+
+val step : t -> bool
+(** Run the earliest pending event (daemon or not), advancing the clock
+    to its timestamp.  Returns [false] when only daemon events (or
+    nothing) remain. *)
+
+val step_any : t -> bool
+(** Like [step] but also willing to run a leading daemon event when no
+    non-daemon work remains. *)
+
+val run : t -> unit
+(** Run events until only daemon events remain. *)
+
+val run_until : t -> Sim_time.t -> unit
+(** Run events with timestamps [<= limit], then set the clock to
+    [limit] (if it is not already past it). *)
+
+val stop : t -> unit
+(** Request that [run]/[run_until] return after the current event. *)

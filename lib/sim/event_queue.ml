@@ -1,0 +1,82 @@
+type 'a entry = { time : Sim_time.t; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let entry_before a b =
+  let c = Sim_time.compare a.time b.time in
+  if c <> 0 then c < 0 else a.seq < b.seq
+
+(* Double capacity; only called with a non-empty heap, so [heap.(0)] is a
+   valid filler for the slots beyond [size] (never read). *)
+let grow t =
+  let fresh = Array.make (2 * Array.length t.heap) t.heap.(0) in
+  Array.blit t.heap 0 fresh 0 t.size;
+  t.heap <- fresh
+
+let sift_up t i0 =
+  let rec loop i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if entry_before t.heap.(i) t.heap.(parent) then begin
+        let tmp = t.heap.(i) in
+        t.heap.(i) <- t.heap.(parent);
+        t.heap.(parent) <- tmp;
+        loop parent
+      end
+    end
+  in
+  loop i0
+
+let sift_down t i0 =
+  let rec loop i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < t.size && entry_before t.heap.(l) t.heap.(!smallest) then smallest := l;
+    if r < t.size && entry_before t.heap.(r) t.heap.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(!smallest);
+      t.heap.(!smallest) <- tmp;
+      loop !smallest
+    end
+  in
+  loop i0
+
+let add t ~time payload =
+  let entry = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = Array.length t.heap then
+    if t.size = 0 then t.heap <- Array.make 16 entry else grow t;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t =
+  if t.size = 0 then None
+  else
+    let e = t.heap.(0) in
+    Some (e.time, e.payload)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let e = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some (e.time, e.payload)
+  end
+
+let clear t =
+  t.heap <- [||];
+  t.size <- 0

@@ -1,0 +1,22 @@
+(** Priority queue of timed events for the simulation engine.
+
+    A binary min-heap keyed by [(time, sequence)].  The sequence number
+    makes extraction stable: two events scheduled for the same instant
+    pop in scheduling order, which keeps the simulation deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:Sim_time.t -> 'a -> unit
+(** Insert an event payload at [time].  O(log n). *)
+
+val peek : 'a t -> (Sim_time.t * 'a) option
+(** Earliest event without removing it. *)
+
+val pop : 'a t -> (Sim_time.t * 'a) option
+(** Remove and return the earliest event.  O(log n). *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,101 @@
+module Counter = struct
+  type t = { name : string; mutable value : int }
+
+  let create name = { name; value = 0 }
+  let name t = t.name
+  let incr t = t.value <- t.value + 1
+  let add t n = t.value <- t.value + n
+  let value t = t.value
+  let reset t = t.value <- 0
+end
+
+module Summary = struct
+  type t = {
+    name : string;
+    mutable count : int;
+    mutable total : float;
+    mutable sum_sq : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create name =
+    { name; count = 0; total = 0.; sum_sq = 0.; min = infinity; max = neg_infinity }
+
+  let name t = t.name
+
+  let add t x =
+    t.count <- t.count + 1;
+    t.total <- t.total +. x;
+    t.sum_sq <- t.sum_sq +. (x *. x);
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let total t = t.total
+  let mean t = if t.count = 0 then 0. else t.total /. float_of_int t.count
+  let min t = t.min
+  let max t = t.max
+
+  let stddev t =
+    if t.count < 2 then 0.
+    else
+      let n = float_of_int t.count in
+      let m = t.total /. n in
+      let var = (t.sum_sq /. n) -. (m *. m) in
+      sqrt (Float.max 0. var)
+
+  let reset t =
+    t.count <- 0;
+    t.total <- 0.;
+    t.sum_sq <- 0.;
+    t.min <- infinity;
+    t.max <- neg_infinity
+
+  let pp fmt t =
+    Format.fprintf fmt "%s: n=%d mean=%.3f min=%.3f max=%.3f sd=%.3f" t.name t.count
+      (mean t)
+      (if t.count = 0 then 0. else t.min)
+      (if t.count = 0 then 0. else t.max)
+      (stddev t)
+end
+
+module Histogram = struct
+  type t = {
+    name : string;
+    lo : float;
+    hi : float;
+    buckets : int array;
+    mutable underflow : int;
+    mutable overflow : int;
+    mutable count : int;
+  }
+
+  let create ?(buckets = 16) ~lo ~hi name =
+    if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+    if buckets <= 0 then invalid_arg "Histogram.create: buckets <= 0";
+    { name; lo; hi; buckets = Array.make buckets 0; underflow = 0; overflow = 0; count = 0 }
+
+  let add t x =
+    t.count <- t.count + 1;
+    if x < t.lo then t.underflow <- t.underflow + 1
+    else if x >= t.hi then t.overflow <- t.overflow + 1
+    else begin
+      let n = Array.length t.buckets in
+      let idx = int_of_float ((x -. t.lo) /. (t.hi -. t.lo) *. float_of_int n) in
+      let idx = Stdlib.min idx (n - 1) in
+      t.buckets.(idx) <- t.buckets.(idx) + 1
+    end
+
+  let count t = t.count
+  let bucket_counts t = Array.copy t.buckets
+  let underflow t = t.underflow
+  let overflow t = t.overflow
+
+  let pp fmt t =
+    Format.fprintf fmt "%s: n=%d [" t.name t.count;
+    Array.iteri
+      (fun i c -> if i > 0 then Format.fprintf fmt ";%d" c else Format.fprintf fmt "%d" c)
+      t.buckets;
+    Format.fprintf fmt "] under=%d over=%d" t.underflow t.overflow
+end

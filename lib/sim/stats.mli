@@ -1,0 +1,52 @@
+(** Lightweight measurement accumulators for experiments. *)
+
+(** Monotonic named counters. *)
+module Counter : sig
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+(** Streaming summary of a series of float samples. *)
+module Summary : sig
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val add : t -> float -> unit
+  val count : t -> int
+  val total : t -> float
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val min : t -> float
+  (** +inf when empty. *)
+
+  val max : t -> float
+  (** -inf when empty. *)
+
+  val stddev : t -> float
+  (** Population standard deviation; 0 when fewer than 2 samples. *)
+
+  val reset : t -> unit
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Fixed-bucket histogram over [\[lo, hi)] with uniform bucket width.
+    Out-of-range samples land in underflow/overflow buckets. *)
+module Histogram : sig
+  type t
+
+  val create : ?buckets:int -> lo:float -> hi:float -> string -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val bucket_counts : t -> int array
+  val underflow : t -> int
+  val overflow : t -> int
+  val pp : Format.formatter -> t -> unit
+end

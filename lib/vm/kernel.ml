@@ -1,0 +1,485 @@
+open Hipec_sim
+open Hipec_machine
+
+let log = Logs.Src.create "hipec.kernel" ~doc:"simulated kernel"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+exception Task_terminated of Task.t * string
+
+type config = {
+  total_frames : int;
+  costs : Costs.t;
+  disk_params : Disk.params option;
+  seed : int;
+  hipec_kernel : bool;
+  readahead : int;
+}
+
+let default_config =
+  { total_frames = 16_384; costs = Costs.default; disk_params = None; seed = 1;
+    hipec_kernel = false; readahead = 0 }
+
+type fault_grant = Grant_page of Vm_page.t | Deny of string
+
+type manager = {
+  on_fault : task:Task.t -> obj:Vm_object.t -> offset:int -> write:bool -> fault_grant;
+  on_resolved : task:Task.t -> page:Vm_page.t -> unit;
+  on_task_terminated : task:Task.t -> unit;
+}
+
+type stats = {
+  mutable faults : int;
+  mutable fast_refaults : int;
+  mutable zero_fill_faults : int;
+  mutable pagein_faults : int;
+  mutable hipec_faults : int;
+  mutable protection_faults : int;
+  mutable prefetched_pages : int;
+  mutable cow_copies : int;  (* pages materialized into a copy object *)
+  mutable cow_pushes : int;  (* copies pushed down before a source write *)
+}
+
+type t = {
+  engine : Engine.t;
+  costs : Costs.t;
+  disk : Disk.t;
+  frame_table : Frame.Table.t;
+  pageout : Pageout.t;
+  rng : Rng.t;
+  hipec_kernel : bool;
+  readahead : int;
+  mutable task_list : Task.t list;
+  objects : (int, Vm_object.t) Hashtbl.t;
+  managers : (int, manager) Hashtbl.t;
+  mutable next_disk_block : int;
+  stats : stats;
+  (* reverse map for the access hot path: which resident page a frame
+     currently backs; refreshed whenever a translation is installed, so
+     kernel-visible access recency (Vm_page.last_access) is maintained
+     on hits as well as faults.  The LRU/MRU complex commands read it. *)
+  page_by_frame : Vm_page.t option array;
+  mutable access_recorder : (Task.t -> vpn:int -> write:bool -> unit) option;
+}
+
+let create ?(config = default_config) () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:config.seed in
+  let disk =
+    Disk.create ?params:config.disk_params ~engine ~rng:(Rng.split rng) ()
+  in
+  {
+    engine;
+    costs = config.costs;
+    disk;
+    frame_table = Frame.Table.create ~total:config.total_frames;
+    pageout = Pageout.create ~total_frames:config.total_frames;
+    rng;
+    hipec_kernel = config.hipec_kernel;
+    readahead = config.readahead;
+    task_list = [];
+    objects = Hashtbl.create 64;
+    managers = Hashtbl.create 16;
+    next_disk_block = 0;
+    page_by_frame = Array.make config.total_frames None;
+    access_recorder = None;
+    stats =
+      {
+        faults = 0;
+        fast_refaults = 0;
+        zero_fill_faults = 0;
+        pagein_faults = 0;
+        hipec_faults = 0;
+        protection_faults = 0;
+        prefetched_pages = 0;
+        cow_copies = 0;
+        cow_pushes = 0;
+      };
+  }
+
+let engine t = t.engine
+let costs t = t.costs
+let disk t = t.disk
+let frame_table t = t.frame_table
+let pageout t = t.pageout
+let rng t = t.rng
+let is_hipec_kernel t = t.hipec_kernel
+let now t = Engine.now t.engine
+
+let charge t d =
+  Engine.advance t.engine d;
+  (* deliver completions (disk interrupts, timers) that have come due *)
+  Engine.run_until t.engine (Engine.now t.engine)
+
+let drain_io t = Engine.run t.engine
+
+let resolve_object t oid = Hashtbl.find t.objects oid
+let register_object t obj = Hashtbl.replace t.objects (Vm_object.id obj) obj
+
+let alloc_disk_extent t ~npages =
+  let nblocks = npages * Vm_object.blocks_per_page in
+  let base = t.next_disk_block in
+  if base + nblocks > Disk.capacity_blocks t.disk then failwith "Kernel: disk full";
+  t.next_disk_block <- base + nblocks;
+  base
+
+let pageout_ctx t : Pageout.ctx =
+  {
+    Pageout.frame_table = t.frame_table;
+    disk = t.disk;
+    engine = t.engine;
+    costs = t.costs;
+    resolve_object = (fun oid -> resolve_object t oid);
+    alloc_swap = (fun () -> alloc_disk_extent t ~npages:1);
+  }
+
+let stats t = t.stats
+
+(* ------------------------------------------------------------------ *)
+(* Tasks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let create_task t ?name () =
+  let task = Task.create ?name () in
+  t.task_list <- task :: t.task_list;
+  task
+
+let tasks t = t.task_list
+
+let release_region_pages t task region =
+  let obj = region.Vm_map.obj in
+  if not (Hashtbl.mem t.managers (Vm_object.id obj)) then begin
+    (* collect first: disconnect mutates the resident table *)
+    let doomed = ref [] in
+    Vm_object.iter_resident
+      (fun ~offset page ->
+        if
+          offset >= region.Vm_map.obj_offset
+          && offset < region.Vm_map.obj_offset + region.Vm_map.npages
+        then doomed := page :: !doomed)
+      obj;
+    List.iter
+      (fun page ->
+        Pageout.forget t.pageout page;
+        Vm_page.set_wired page false;
+        Vm_object.disconnect obj page;
+        Frame.Table.free t.frame_table (Vm_page.frame page))
+      !doomed
+  end;
+  Vm_object.detach_copy obj;
+  (* drop this task's translations for the region *)
+  for vpn = region.Vm_map.start_vpn to Vm_map.region_end_vpn region - 1 do
+    Pmap.remove (Task.pmap task) ~vpn
+  done
+
+let terminate_task t task ~reason =
+  if Task.alive task then begin
+    Log.warn (fun m -> m "terminating %s: %s" (Task.name task) reason);
+    Task.kill task ~reason;
+    List.iter (fun r -> release_region_pages t task r) (Vm_map.regions (Task.vm_map task));
+    Pmap.remove_all (Task.pmap task);
+    (* notify managers so HiPEC containers can tear down *)
+    Hashtbl.iter (fun _ m -> m.on_task_terminated ~task) t.managers
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Memory syscalls                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let vm_allocate t task ~npages =
+  charge t t.costs.Costs.null_syscall;
+  let obj = Vm_object.create ~size_pages:npages ~backing:Vm_object.Zero_fill () in
+  register_object t obj;
+  Vm_map.allocate_anywhere (Task.vm_map task) ~npages ~obj ~obj_offset:0
+    ~prot:Pmap.Read_write
+
+let vm_map_file t task ?name ~npages () =
+  charge t t.costs.Costs.null_syscall;
+  let base_block = alloc_disk_extent t ~npages in
+  let obj =
+    Vm_object.create ?name ~size_pages:npages ~backing:(Vm_object.File { base_block }) ()
+  in
+  register_object t obj;
+  Vm_map.allocate_anywhere (Task.vm_map task) ~npages ~obj ~obj_offset:0
+    ~prot:Pmap.Read_write
+
+let vm_map_object t task ~obj ~obj_offset ~npages ~prot =
+  charge t t.costs.Costs.null_syscall;
+  register_object t obj;
+  Vm_map.allocate_anywhere (Task.vm_map task) ~npages ~obj ~obj_offset ~prot
+
+let vm_deallocate t task region =
+  charge t t.costs.Costs.null_syscall;
+  release_region_pages t task region;
+  Vm_map.remove (Task.vm_map task) region
+
+let protect_region t task region ~prot =
+  charge t t.costs.Costs.null_syscall;
+  region.Vm_map.prot <- prot;
+  for vpn = region.Vm_map.start_vpn to Vm_map.region_end_vpn region - 1 do
+    match Pmap.lookup (Task.pmap task) ~vpn with
+    | Some _ -> Pmap.protect (Task.pmap task) ~vpn ~prot
+    | None -> ()
+  done
+
+(* vm_copy: map a lazy copy of [region]'s object.  The source's resident
+   pages are write-protected; a later source write pushes copies down to
+   the children first (see the protection-fault path), so the copy is a
+   consistent snapshot. *)
+let vm_copy t task region =
+  charge t t.costs.Costs.null_syscall;
+  let src = region.Vm_map.obj in
+  if Hashtbl.mem t.managers (Vm_object.id src) then
+    invalid_arg "Kernel.vm_copy: cannot copy a HiPEC-managed object";
+  let child = Vm_object.create_copy src in
+  register_object t child;
+  Vm_object.iter_resident
+    (fun ~offset:_ page ->
+      List.iter (fun (pmap, vpn) -> Pmap.protect pmap ~vpn ~prot:Pmap.Read_only)
+        (Vm_page.mappings page))
+    src;
+  Vm_map.allocate_anywhere (Task.vm_map task) ~npages:region.Vm_map.npages ~obj:child
+    ~obj_offset:region.Vm_map.obj_offset ~prot:region.Vm_map.prot
+
+(* ------------------------------------------------------------------ *)
+(* The page-fault path                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let kill_and_raise t task reason =
+  t.stats.protection_faults <- t.stats.protection_faults + 1;
+  terminate_task t task ~reason;
+  raise (Task_terminated (task, reason))
+
+(* Bind [slot] to the faulted offset, fill it (pagein or zero-fill) and
+   install the translation. *)
+let install_page t task region ~obj ~offset ~vpn slot =
+  Vm_object.connect obj slot ~offset;
+  (if Vm_object.has_backing_data obj ~offset then begin
+     let block = Option.get (Vm_object.disk_block obj ~offset) in
+     charge t (Disk.service_time t.disk ~block ~nblocks:Vm_object.blocks_per_page);
+     Task.count_pagein task;
+     t.stats.pagein_faults <- t.stats.pagein_faults + 1
+   end
+   else
+     match Vm_object.copy_source obj ~offset with
+     | `Page _ ->
+         (* materialize from the resident source page *)
+         charge t t.costs.Costs.page_copy;
+         t.stats.cow_copies <- t.stats.cow_copies + 1
+     | `Block block ->
+         charge t (Disk.service_time t.disk ~block ~nblocks:Vm_object.blocks_per_page);
+         Task.count_pagein task;
+         t.stats.pagein_faults <- t.stats.pagein_faults + 1;
+         t.stats.cow_copies <- t.stats.cow_copies + 1
+     | `Zero ->
+         Task.count_zero_fill task;
+         t.stats.zero_fill_faults <- t.stats.zero_fill_faults + 1);
+  charge t t.costs.Costs.pmap_enter;
+  (* an object with live copies keeps write-protected translations so a
+     write always enters the push-down path first *)
+  let prot =
+    if Vm_object.has_children obj then Pmap.Read_only else region.Vm_map.prot
+  in
+  Pmap.enter (Task.pmap task) ~vpn ~frame:(Vm_page.frame slot) ~prot;
+  Vm_page.add_mapping slot (Task.pmap task) ~vpn;
+  Vm_page.touch slot (now t);
+  t.page_by_frame.(Frame.index (Vm_page.frame slot)) <- Some slot;
+  if region.Vm_map.wired then Vm_page.set_wired slot true;
+  slot
+
+(* Allocate a frame from the default pool, running the pageout daemon
+   when the pool is low and waiting on laundry writebacks if it runs
+   completely dry. *)
+let default_pool_frame t task =
+  let ctx = pageout_ctx t in
+  if Pageout.needs_balance t.pageout t.frame_table then Pageout.balance t.pageout ctx;
+  let rec take attempts =
+    match Frame.Table.alloc t.frame_table with
+    | Some frame -> frame
+    | None ->
+        if Pageout.laundry_count t.pageout > 0 then begin
+          (* block until a writeback completes and retry *)
+          if not (Engine.step t.engine) then
+            kill_and_raise t task "out of memory: laundry stuck";
+          take attempts
+        end
+        else if attempts > 0 && Pageout.reclaim_one t.pageout ctx then take (attempts - 1)
+        else kill_and_raise t task "out of memory"
+  in
+  take 8
+
+(* Clustered pagein: after a default-pool file fault, pull the next
+   [readahead] contiguous backed pages in with the same transfer (only
+   the marginal per-block cost, the head is already positioned).  They
+   arrive unmapped on the inactive queue; a wrong guess is the first
+   thing evicted, a right one reactivates on its soft fault. *)
+let prefetch t obj ~offset =
+  let reserve = Pageout.reserved t.pageout in
+  let rec loop i =
+    if i <= t.readahead then
+      let off = offset + i in
+      (* stop at the first ineligible page: clusters are contiguous *)
+      if
+        off < Vm_object.size_pages obj
+        && Vm_object.has_backing_data obj ~offset:off
+        && Vm_object.find_resident obj ~offset:off = None
+        && Frame.Table.free_count t.frame_table > reserve
+      then begin
+        match Frame.Table.alloc t.frame_table with
+        | None -> ()
+        | Some frame ->
+            let page = Vm_page.create ~frame in
+            Vm_object.connect obj page ~offset:off;
+            charge t
+              (Disk.sequential_transfer_time t.disk ~nblocks:Vm_object.blocks_per_page);
+            t.stats.prefetched_pages <- t.stats.prefetched_pages + 1;
+            Pageout.note_prefetched t.pageout page;
+            loop (i + 1)
+      end
+  in
+  loop 1
+
+let fault t task region ~vpn ~write =
+  Task.count_fault task;
+  t.stats.faults <- t.stats.faults + 1;
+  charge t t.costs.Costs.fault_trap;
+  if t.hipec_kernel then charge t t.costs.Costs.hipec_region_check;
+  let obj = region.Vm_map.obj in
+  let offset = Vm_map.offset_of_vpn region vpn in
+  match Vm_object.find_resident obj ~offset with
+  | Some page ->
+      (* data already resident: translation fault only *)
+      t.stats.fast_refaults <- t.stats.fast_refaults + 1;
+      charge t t.costs.Costs.pmap_enter;
+      Pmap.enter (Task.pmap task) ~vpn ~frame:(Vm_page.frame page) ~prot:region.Vm_map.prot;
+      Vm_page.add_mapping page (Task.pmap task) ~vpn;
+      Vm_page.touch page (now t);
+      t.page_by_frame.(Frame.index (Vm_page.frame page)) <- Some page;
+      Frame.set_referenced (Vm_page.frame page) true;
+      if write then Frame.set_modified (Vm_page.frame page) true
+  | None -> (
+      charge t t.costs.Costs.fault_service;
+      match Hashtbl.find_opt t.managers (Vm_object.id obj) with
+      | Some manager -> (
+          t.stats.hipec_faults <- t.stats.hipec_faults + 1;
+          match manager.on_fault ~task ~obj ~offset ~write with
+          | Deny reason -> kill_and_raise t task reason
+          | Grant_page slot ->
+              let page = install_page t task region ~obj ~offset ~vpn slot in
+              Frame.set_referenced (Vm_page.frame page) true;
+              if write then Frame.set_modified (Vm_page.frame page) true;
+              manager.on_resolved ~task ~page)
+      | None ->
+          let frame = default_pool_frame t task in
+          let slot = Vm_page.create ~frame in
+          let page = install_page t task region ~obj ~offset ~vpn slot in
+          Frame.set_referenced (Vm_page.frame page) true;
+          if write then Frame.set_modified (Vm_page.frame page) true;
+          Pageout.note_new_resident t.pageout page;
+          if t.readahead > 0 && Vm_object.has_backing_data obj ~offset then
+            prefetch t obj ~offset)
+
+(* A write hit a write-protected translation in a writable region: the
+   page belongs to an object with live lazy copies.  Push a copy down to
+   every child missing the page, then upgrade the writer's mapping. *)
+let resolve_cow_write t task region ~vpn =
+  Task.count_fault task;
+  t.stats.faults <- t.stats.faults + 1;
+  charge t t.costs.Costs.fault_trap;
+  let obj = region.Vm_map.obj in
+  let offset = Vm_map.offset_of_vpn region vpn in
+  (match Vm_object.find_resident obj ~offset with
+  | Some page ->
+      List.iter
+        (fun child ->
+          if
+            offset < Vm_object.size_pages child
+            && Vm_object.find_resident child ~offset = None
+          then begin
+            let frame = default_pool_frame t task in
+            let slot = Vm_page.create ~frame in
+            Vm_object.connect child slot ~offset;
+            charge t t.costs.Costs.page_copy;
+            t.stats.cow_pushes <- t.stats.cow_pushes + 1;
+            Pageout.note_new_resident t.pageout slot
+          end)
+        (Vm_object.children obj);
+      Frame.set_referenced (Vm_page.frame page) true;
+      Frame.set_modified (Vm_page.frame page) true
+  | None -> ());
+  charge t t.costs.Costs.pmap_enter;
+  Pmap.protect (Task.pmap task) ~vpn ~prot:region.Vm_map.prot
+
+let set_access_recorder t tap = t.access_recorder <- tap
+
+let access_vpn t task ~vpn ~write =
+  if not (Task.alive task) then
+    invalid_arg (Printf.sprintf "Kernel.access: task %s is dead" (Task.name task));
+  (match t.access_recorder with Some tap -> tap task ~vpn ~write | None -> ());
+  let t0 = Engine.now t.engine in
+  Fun.protect
+    ~finally:(fun () ->
+      (* the reference plus whatever fault service it triggered is this
+         task's CPU time *)
+      Task.charge_cpu task (Sim_time.sub (Engine.now t.engine) t0))
+  @@ fun () ->
+  charge t t.costs.Costs.mem_access;
+  match Pmap.access (Task.pmap task) ~vpn ~write with
+  | Pmap.Hit frame -> (
+      match t.page_by_frame.(Frame.index frame) with
+      | Some page -> Vm_page.touch page (now t)
+      | None -> ())
+  | Pmap.Protection_violation _ -> (
+      match Vm_map.find (Task.vm_map task) ~vpn with
+      | Some region when region.Vm_map.command_buffer ->
+          kill_and_raise t task "attempt to modify a HiPEC command buffer"
+      | Some region when region.Vm_map.prot = Pmap.Read_write ->
+          resolve_cow_write t task region ~vpn
+      | Some _ | None -> kill_and_raise t task "protection violation")
+  | Pmap.Miss -> (
+      match Vm_map.find (Task.vm_map task) ~vpn with
+      | None ->
+          kill_and_raise t task
+            (Printf.sprintf "segmentation fault at vpn %d" vpn)
+      | Some region ->
+          if write && region.Vm_map.prot = Pmap.Read_only then begin
+            if region.Vm_map.command_buffer then
+              kill_and_raise t task "attempt to modify a HiPEC command buffer"
+            else kill_and_raise t task "protection violation"
+          end;
+          fault t task region ~vpn ~write)
+
+let access t task ~va ~write = access_vpn t task ~vpn:(Pmap.vpn_of_va va) ~write
+
+let touch_region t task region ~write =
+  for vpn = region.Vm_map.start_vpn to Vm_map.region_end_vpn region - 1 do
+    access_vpn t task ~vpn ~write
+  done
+
+let wire_region t task region =
+  charge t t.costs.Costs.null_syscall;
+  region.Vm_map.wired <- true;
+  for vpn = region.Vm_map.start_vpn to Vm_map.region_end_vpn region - 1 do
+    access_vpn t task ~vpn ~write:false;
+    let offset = Vm_map.offset_of_vpn region vpn in
+    match Vm_object.find_resident region.Vm_map.obj ~offset with
+    | Some page ->
+        if not (Vm_page.wired page) then begin
+          Pageout.forget t.pageout page;
+          Vm_page.set_wired page true
+        end
+    | None -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* External managers and mechanism micro-ops                           *)
+(* ------------------------------------------------------------------ *)
+
+let set_manager t obj manager =
+  register_object t obj;
+  Hashtbl.replace t.managers (Vm_object.id obj) manager
+
+let clear_manager t obj = Hashtbl.remove t.managers (Vm_object.id obj)
+let managed t obj = Hashtbl.mem t.managers (Vm_object.id obj)
+let null_syscall t = charge t t.costs.Costs.null_syscall
+let null_ipc t = charge t t.costs.Costs.null_ipc

@@ -1,0 +1,33 @@
+open Hipec_sim
+open Hipec_machine
+
+let pp fmt k =
+  let s = Kernel.stats k in
+  let tbl = Kernel.frame_table k in
+  let daemon = Kernel.pageout k in
+  let disk = Kernel.disk k in
+  let line name fmt' = Format.fprintf fmt ("  %-24s " ^^ fmt' ^^ "@,") name in
+  Format.fprintf fmt "@[<v>kernel statistics at %a@," Sim_time.pp (Kernel.now k);
+  line "frames" "%d total, %d free" (Frame.Table.total tbl) (Frame.Table.free_count tbl);
+  line "tasks" "%d (%d alive)"
+    (List.length (Kernel.tasks k))
+    (List.length (List.filter Task.alive (Kernel.tasks k)));
+  line "faults" "%d total (%d zero-fill, %d pagein, %d soft, %d hipec)" s.Kernel.faults
+    s.Kernel.zero_fill_faults s.Kernel.pagein_faults s.Kernel.fast_refaults
+    s.Kernel.hipec_faults;
+  line "protection faults" "%d" s.Kernel.protection_faults;
+  line "readahead" "%d pages prefetched" s.Kernel.prefetched_pages;
+  line "copy-on-write" "%d copies, %d pushes" s.Kernel.cow_copies s.Kernel.cow_pushes;
+  line "pageout daemon" "%d active, %d inactive, %d laundering"
+    (Pageout.active_count daemon) (Pageout.inactive_count daemon)
+    (Pageout.laundry_count daemon);
+  line "daemon activity" "%d evictions, %d reactivations, %d writes"
+    (Pageout.evictions daemon) (Pageout.reactivations daemon)
+    (Pageout.pageout_writes daemon);
+  line "disk" "%d queued reads, %d queued writes, %d sync transfers, %.1f s busy"
+    (Disk.reads_completed disk) (Disk.writes_completed disk)
+    (Disk.synchronous_transfers disk)
+    (Sim_time.to_sec_f (Disk.busy_time disk));
+  Format.fprintf fmt "@]"
+
+let to_string k = Format.asprintf "%a" pp k

@@ -1,0 +1,7 @@
+(** vmstat-style snapshot reporting for the simulated kernel. *)
+
+val pp : Format.formatter -> Kernel.t -> unit
+(** A multi-line report: uptime, frame pool, paging counters (faults by
+    kind, readahead, COW), pageout-daemon state and disk activity. *)
+
+val to_string : Kernel.t -> string

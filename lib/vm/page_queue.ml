@@ -1,0 +1,125 @@
+type node = { page : Vm_page.t; mutable prev : node option; mutable next : node option }
+
+type t = {
+  id : int;
+  name : string;
+  mutable head : node option;
+  mutable tail : node option;
+  nodes : (int, node) Hashtbl.t;  (* page id -> node *)
+}
+
+let next_id = ref 0
+
+let create name =
+  incr next_id;
+  { id = !next_id; name; head = None; tail = None; nodes = Hashtbl.create 64 }
+
+let id t = t.id
+let name t = t.name
+let length t = Hashtbl.length t.nodes
+let is_empty t = Hashtbl.length t.nodes = 0
+
+let claim t page =
+  (match Vm_page.on_queue page with
+  | Some q ->
+      invalid_arg
+        (Printf.sprintf "Page_queue.%s: page #%d already on queue %d" t.name
+           (Vm_page.id page) q)
+  | None -> ());
+  Vm_page.set_on_queue page (Some t.id)
+
+let enqueue_head t page =
+  claim t page;
+  let node = { page; prev = None; next = t.head } in
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node;
+  Hashtbl.replace t.nodes (Vm_page.id page) node
+
+let enqueue_tail t page =
+  claim t page;
+  let node = { page; prev = t.tail; next = None } in
+  (match t.tail with Some tl -> tl.next <- Some node | None -> t.head <- Some node);
+  t.tail <- Some node;
+  Hashtbl.replace t.nodes (Vm_page.id page) node
+
+let unlink t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+  (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None;
+  Hashtbl.remove t.nodes (Vm_page.id node.page);
+  Vm_page.set_on_queue node.page None
+
+let dequeue_head t =
+  match t.head with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      Some node.page
+
+let dequeue_tail t =
+  match t.tail with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      Some node.page
+
+let peek_head t = Option.map (fun n -> n.page) t.head
+let peek_tail t = Option.map (fun n -> n.page) t.tail
+
+let remove t page =
+  match Hashtbl.find_opt t.nodes (Vm_page.id page) with
+  | None -> invalid_arg (Printf.sprintf "Page_queue.%s: remove of absent page" t.name)
+  | Some node -> unlink t node
+
+let mem t page = Hashtbl.mem t.nodes (Vm_page.id page)
+
+let iter f t =
+  let rec loop = function
+    | None -> ()
+    | Some node ->
+        f node.page;
+        loop node.next
+  in
+  loop t.head
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun p -> acc := f !acc p) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc p -> p :: acc) [] t)
+
+let find_min ~by t =
+  fold
+    (fun best p ->
+      match best with Some b when by b <= by p -> best | _ -> Some p)
+    None t
+
+let find_max ~by t =
+  fold
+    (fun best p ->
+      match best with Some b when by b >= by p -> best | _ -> Some p)
+    None t
+
+let check_invariants t =
+  let ok = ref true in
+  let count = ref 0 in
+  (* physical equality on optional nodes: the structure is cyclic in
+     spirit, so structural (=) must not be used *)
+  let same a b =
+    match (a, b) with None, None -> true | Some x, Some y -> x == y | _ -> false
+  in
+  let rec walk prev = function
+    | None -> if not (same t.tail prev) then ok := false
+    | Some node ->
+        incr count;
+        if not (same node.prev prev) then ok := false;
+        (match Hashtbl.find_opt t.nodes (Vm_page.id node.page) with
+        | Some n when n == node -> ()
+        | _ -> ok := false);
+        if Vm_page.on_queue node.page <> Some t.id then ok := false;
+        walk (Some node) node.next
+  in
+  walk None t.head;
+  !ok && !count = Hashtbl.length t.nodes

@@ -1,0 +1,52 @@
+(** Kernel page queues (free / active / inactive / user-defined).
+
+    O(1) enqueue, dequeue and removal at either end, with an enforced
+    exclusivity invariant: a page is on at most one queue at a time.
+    These queues are both the kernel's own paging queues and the values
+    behind HiPEC's [Queue] operands ([EnQueue], [DeQueue], [EmptyQ],
+    [InQ], [FIFO], [LRU], [MRU] all operate on them). *)
+
+type t
+
+val create : string -> t
+(** [create name] is a fresh empty queue; [name] appears in errors and
+    debug output. *)
+
+val id : t -> int
+(** Unique queue id (the value stored in {!Vm_page.on_queue}). *)
+
+val name : t -> string
+val length : t -> int
+val is_empty : t -> bool
+
+val enqueue_head : t -> Vm_page.t -> unit
+val enqueue_tail : t -> Vm_page.t -> unit
+(** Raise [Invalid_argument] if the page is already on some queue. *)
+
+val dequeue_head : t -> Vm_page.t option
+val dequeue_tail : t -> Vm_page.t option
+
+val peek_head : t -> Vm_page.t option
+val peek_tail : t -> Vm_page.t option
+
+val remove : t -> Vm_page.t -> unit
+(** Remove a specific page.  Raises [Invalid_argument] if the page is
+    not on this queue. *)
+
+val mem : t -> Vm_page.t -> bool
+
+val iter : (Vm_page.t -> unit) -> t -> unit
+(** Head-to-tail order.  The callback must not mutate the queue. *)
+
+val fold : ('a -> Vm_page.t -> 'a) -> 'a -> t -> 'a
+val to_list : t -> Vm_page.t list
+(** Head first. *)
+
+val find_min : by:(Vm_page.t -> int) -> t -> Vm_page.t option
+val find_max : by:(Vm_page.t -> int) -> t -> Vm_page.t option
+(** Linear scans used by the LRU/MRU complex commands; ties resolve to
+    the page nearest the head. *)
+
+val check_invariants : t -> bool
+(** Links are consistent, the length matches, and every member's
+    [on_queue] points here.  For tests and debug assertions. *)

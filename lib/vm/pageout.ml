@@ -1,0 +1,160 @@
+open Hipec_sim
+open Hipec_machine
+
+type ctx = {
+  frame_table : Frame.Table.t;
+  disk : Disk.t;
+  engine : Engine.t;
+  costs : Costs.t;
+  resolve_object : int -> Vm_object.t;
+  alloc_swap : unit -> int;
+}
+
+type t = {
+  active : Page_queue.t;
+  inactive : Page_queue.t;
+  mutable free_target : int;
+  mutable reserved : int;
+  mutable laundry : int;
+  mutable evictions : int;
+  mutable reactivations : int;
+  mutable pageout_writes : int;
+}
+
+let create ~total_frames =
+  if total_frames <= 0 then invalid_arg "Pageout.create: total_frames <= 0";
+  {
+    active = Page_queue.create "vm_active";
+    inactive = Page_queue.create "vm_inactive";
+    free_target = max 4 (total_frames / 25);
+    reserved = max 2 (total_frames / 200);
+    laundry = 0;
+    evictions = 0;
+    reactivations = 0;
+    pageout_writes = 0;
+  }
+
+let free_target t = t.free_target
+let reserved t = t.reserved
+
+let set_targets t ?free_target ?reserved () =
+  (match free_target with Some v -> t.free_target <- v | None -> ());
+  match reserved with Some v -> t.reserved <- v | None -> ()
+
+let active_count t = Page_queue.length t.active
+let inactive_count t = Page_queue.length t.inactive
+let laundry_count t = t.laundry
+
+let note_new_resident t page =
+  if not (Vm_page.wired page) then Page_queue.enqueue_tail t.active page
+
+let note_prefetched t page =
+  if not (Vm_page.wired page) then Page_queue.enqueue_tail t.inactive page
+
+let forget t page =
+  match Vm_page.on_queue page with
+  | Some q when q = Page_queue.id t.active -> Page_queue.remove t.active page
+  | Some q when q = Page_queue.id t.inactive -> Page_queue.remove t.inactive page
+  | Some _ | None -> ()
+
+let object_of ctx page =
+  match Vm_page.binding page with
+  | Some (oid, _) -> ctx.resolve_object oid
+  | None -> invalid_arg "Pageout: unbound page on a daemon queue"
+
+(* Write a dirty page's frame to backing store asynchronously; the frame
+   reaches the free pool when the transfer completes (the "laundry"). *)
+let launder t ctx page =
+  let obj = object_of ctx page in
+  let offset = match Vm_page.binding page with Some (_, o) -> o | None -> assert false in
+  let block =
+    match Vm_object.disk_block obj ~offset with
+    | Some b -> b
+    | None ->
+        let b = ctx.alloc_swap () in
+        Vm_object.assign_swap obj ~offset ~block:b;
+        b
+  in
+  let frame = Vm_page.frame page in
+  Vm_object.disconnect obj page;
+  t.laundry <- t.laundry + 1;
+  t.pageout_writes <- t.pageout_writes + 1;
+  Disk.submit_write ctx.disk ~block ~nblocks:Vm_object.blocks_per_page (fun _engine ->
+      Frame.set_modified frame false;
+      Frame.Table.free ctx.frame_table frame;
+      t.laundry <- t.laundry - 1)
+
+let evict_clean ctx page =
+  let obj = object_of ctx page in
+  let frame = Vm_page.frame page in
+  Vm_object.disconnect obj page;
+  Frame.Table.free ctx.frame_table frame
+
+(* One reclaim attempt from the head of the inactive queue.  Returns
+   [`Progress] when a page moved (evicted or reactivated), [`Empty] when
+   the inactive queue is drained. *)
+let reclaim_step t ctx =
+  Engine.advance ctx.engine ctx.costs.Costs.queue_op;
+  match Page_queue.dequeue_head t.inactive with
+  | None -> `Empty
+  | Some page ->
+      if Vm_page.referenced page then begin
+        (* second chance *)
+        Vm_page.clear_referenced page;
+        Page_queue.enqueue_tail t.active page;
+        t.reactivations <- t.reactivations + 1;
+        `Progress
+      end
+      else begin
+        t.evictions <- t.evictions + 1;
+        if Vm_page.dirty page then launder t ctx page else evict_clean ctx page;
+        `Progress
+      end
+
+let refill_inactive t ctx ~target =
+  while Page_queue.length t.inactive < target && not (Page_queue.is_empty t.active) do
+    Engine.advance ctx.engine ctx.costs.Costs.queue_op;
+    match Page_queue.dequeue_head t.active with
+    | None -> ()
+    | Some page ->
+        Vm_page.clear_referenced page;
+        Page_queue.enqueue_tail t.inactive page
+  done
+
+let inactive_target t =
+  let queued = Page_queue.length t.active + Page_queue.length t.inactive in
+  max (2 * t.free_target) (queued / 3)
+
+let needs_balance t tbl = Frame.Table.free_count tbl <= t.reserved
+
+let balance t ctx =
+  let continue = ref true in
+  (* laundry frames count toward the target: their writebacks are already
+     in flight, so evicting more pages would not speed anything up *)
+  while !continue && Frame.Table.free_count ctx.frame_table + t.laundry < t.free_target do
+    refill_inactive t ctx ~target:(inactive_target t);
+    match reclaim_step t ctx with
+    | `Progress -> ()
+    | `Empty ->
+        (* nothing inactive; if active is also empty we are out of pages *)
+        if Page_queue.is_empty t.active then continue := false
+        else refill_inactive t ctx ~target:(max 1 (inactive_target t))
+  done
+
+let reclaim_one t ctx =
+  refill_inactive t ctx ~target:(max 1 (inactive_target t));
+  (* each step either evicts (success), reactivates (retry on the next
+     inactive page), or finds the queue empty (failure) *)
+  let rec attempt budget =
+    if budget <= 0 then false
+    else
+      let before = t.evictions in
+      match reclaim_step t ctx with
+      | `Empty -> false
+      | `Progress -> t.evictions > before || attempt (budget - 1)
+  in
+  attempt (Page_queue.length t.inactive + 1)
+
+let evictions t = t.evictions
+let reactivations t = t.reactivations
+let pageout_writes t = t.pageout_writes

@@ -1,0 +1,73 @@
+(** The Mach default pageout daemon: FIFO with second chance.
+
+    Manages the kernel's {e default pool} — every resident page that is
+    not under a HiPEC container.  Implements exactly the policy of the
+    paper's Table 2 (which is also Mach 3.0's default, Draves 1991):
+    refill the inactive queue from the head of the active queue clearing
+    reference bits, then reclaim from the head of the inactive queue,
+    giving referenced pages a second chance and laundering dirty ones
+    asynchronously.
+
+    In this simulation the daemon runs synchronously inside the fault
+    path when the free pool drops below its reserve, which matches the
+    blocking behaviour a faulting thread observes on a loaded Mach
+    system. *)
+
+open Hipec_sim
+open Hipec_machine
+
+type t
+
+(** Everything the balance loop needs from the surrounding kernel. *)
+type ctx = {
+  frame_table : Frame.Table.t;
+  disk : Disk.t;
+  engine : Engine.t;
+  costs : Costs.t;
+  resolve_object : int -> Vm_object.t;  (** registry lookup by object id *)
+  alloc_swap : unit -> int;  (** swap slot (base block) for a dirty anonymous page *)
+}
+
+val create : total_frames:int -> t
+(** Targets are derived from the pool size: a small emergency reserve,
+    a free target of ~4 %, and an inactive target of one third of the
+    queued pages. *)
+
+val free_target : t -> int
+val reserved : t -> int
+val set_targets : t -> ?free_target:int -> ?reserved:int -> unit -> unit
+
+val active_count : t -> int
+val inactive_count : t -> int
+val laundry_count : t -> int
+(** Dirty frames whose writeback is still in flight; they return to the
+    free pool when the disk completes. *)
+
+val note_new_resident : t -> Vm_page.t -> unit
+(** Called after a default-pool fault resolves: the page joins the tail
+    of the active queue.  Wired pages are ignored. *)
+
+val note_prefetched : t -> Vm_page.t -> unit
+(** A readahead page: joins the tail of the inactive queue, so an
+    unused guess is the first eviction candidate; its first real use
+    reactivates it via the second-chance scan. *)
+
+val forget : t -> Vm_page.t -> unit
+(** Drop a page from whichever daemon queue holds it (used when a region
+    is deallocated or a page is wired after the fact). *)
+
+val needs_balance : t -> Frame.Table.t -> bool
+(** The free pool has dropped to the emergency reserve. *)
+
+val balance : t -> ctx -> unit
+(** Run the two-phase second-chance loop until the free pool reaches the
+    free target or nothing more can be evicted. *)
+
+val reclaim_one : t -> ctx -> bool
+(** Force a single eviction step even above targets (used by the global
+    frame manager when a HiPEC [Request] cannot be satisfied from the
+    free pool).  Returns false when nothing is evictable. *)
+
+val evictions : t -> int
+val reactivations : t -> int
+val pageout_writes : t -> int

@@ -1,0 +1,76 @@
+open Hipec_sim
+open Hipec_machine
+
+type t = {
+  id : int;
+  frame : Frame.t;
+  mutable binding : (int * int) option;
+  mutable mappings : (Pmap.t * int) list;
+  mutable wired : bool;
+  mutable last_access : Sim_time.t;
+  mutable on_queue : int option;
+}
+
+let next_id = ref 0
+
+let create ~frame =
+  incr next_id;
+  {
+    id = !next_id;
+    frame;
+    binding = None;
+    mappings = [];
+    wired = false;
+    last_access = Sim_time.zero;
+    on_queue = None;
+  }
+
+let id t = t.id
+let frame t = t.frame
+let binding t = t.binding
+
+let bind t ~object_id ~offset =
+  match t.binding with
+  | Some _ -> invalid_arg "Vm_page.bind: already bound"
+  | None -> t.binding <- Some (object_id, offset)
+
+let unbind t =
+  match t.binding with
+  | None -> invalid_arg "Vm_page.unbind: not bound"
+  | Some _ -> t.binding <- None
+
+let is_bound t = t.binding <> None
+let mappings t = t.mappings
+let add_mapping t pmap ~vpn = t.mappings <- (pmap, vpn) :: t.mappings
+
+let remove_mapping t pmap ~vpn =
+  t.mappings <- List.filter (fun (p, v) -> not (p == pmap && v = vpn)) t.mappings
+
+let unmap_all t =
+  List.iter (fun (pmap, vpn) -> Pmap.remove pmap ~vpn) t.mappings;
+  t.mappings <- []
+
+let dirty t = Frame.modified t.frame
+let referenced t = Frame.referenced t.frame
+let clear_modified t = Frame.set_modified t.frame false
+let clear_referenced t = Frame.set_referenced t.frame false
+let wired t = t.wired
+
+let set_wired t b =
+  t.wired <- b;
+  Frame.set_wired t.frame b
+
+let last_access t = t.last_access
+let touch t now = t.last_access <- now
+let on_queue t = t.on_queue
+let set_on_queue t q = t.on_queue <- q
+
+let pp fmt t =
+  let binding =
+    match t.binding with
+    | None -> "unbound"
+    | Some (o, off) -> Printf.sprintf "obj%d+%d" o off
+  in
+  Format.fprintf fmt "page#%d(%a,%s%s%s)" t.id Frame.pp t.frame binding
+    (if t.wired then ",wired" else "")
+    (match t.on_queue with None -> "" | Some q -> Printf.sprintf ",q%d" q)

@@ -1,0 +1,73 @@
+(** Resident pages: the kernel's view of one physical frame's contents.
+
+    Following Mach, a [Vm_page.t] exists only while it holds a physical
+    frame.  It is either {e bound} to an offset of a VM object (it caches
+    that page of the object) or {e unbound} (a free page slot whose frame
+    is ready for reuse — this is what sits on free queues, including the
+    private free lists HiPEC hands to applications). *)
+
+open Hipec_sim
+open Hipec_machine
+
+type t
+
+val create : frame:Frame.t -> t
+(** A fresh unbound page slot holding [frame]. *)
+
+val id : t -> int
+(** Unique for the lifetime of the process. *)
+
+val frame : t -> Frame.t
+
+(** {1 Binding to an object offset} *)
+
+val binding : t -> (int * int) option
+(** [(object_id, page_offset)] when bound. *)
+
+val bind : t -> object_id:int -> offset:int -> unit
+(** Raises [Invalid_argument] if already bound. *)
+
+val unbind : t -> unit
+(** Raises [Invalid_argument] if not bound.  The caller (normally
+    {!Vm_object.disconnect}) is responsible for removing the page from
+    the object's resident table and from all pmaps first. *)
+
+val is_bound : t -> bool
+
+(** {1 Mappings} *)
+
+val mappings : t -> (Pmap.t * int) list
+(** pmaps (with virtual page numbers) currently translating to this
+    page's frame. *)
+
+val add_mapping : t -> Pmap.t -> vpn:int -> unit
+val remove_mapping : t -> Pmap.t -> vpn:int -> unit
+
+val unmap_all : t -> unit
+(** Remove every translation to this page from every pmap. *)
+
+(** {1 State bits} *)
+
+val dirty : t -> bool
+(** The frame's hardware modify bit. *)
+
+val referenced : t -> bool
+val clear_modified : t -> unit
+val clear_referenced : t -> unit
+val wired : t -> bool
+val set_wired : t -> bool -> unit
+
+val last_access : t -> Sim_time.t
+val touch : t -> Sim_time.t -> unit
+(** Record an access time (kernel-visible approximation used by the LRU
+    and MRU complex commands). *)
+
+(** {1 Queue membership (maintained by {!Page_queue})} *)
+
+val on_queue : t -> int option
+(** Id of the queue currently holding the page, if any. *)
+
+val set_on_queue : t -> int option -> unit
+(** For {!Page_queue}'s internal use only. *)
+
+val pp : Format.formatter -> t -> unit

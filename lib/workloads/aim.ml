@@ -1,0 +1,246 @@
+open Hipec_sim
+open Hipec_vm
+
+type mix = Standard | Disk_heavy | Memory_heavy
+
+let mix_name = function
+  | Standard -> "standard"
+  | Disk_heavy -> "disk"
+  | Memory_heavy -> "memory"
+
+type config = {
+  users : int;
+  mix : mix;
+  duration : Sim_time.t;
+  seed : int;
+  hipec_kernel : bool;
+  total_frames : int;
+  user_region_pages : int;
+  specific_users : int;
+}
+
+let default_config =
+  {
+    users = 1;
+    mix = Standard;
+    duration = Sim_time.sec 60;
+    seed = 7;
+    hipec_kernel = false;
+    total_frames = 4_096;
+    user_region_pages = 600;
+    specific_users = 0;
+  }
+
+type result = {
+  jobs_completed : int;
+  jobs_per_minute : float;
+  specific_jobs_completed : int;
+  faults : int;
+  pageouts : int;
+  cpu_busy : Sim_time.t;
+  disk_busy : Sim_time.t;
+}
+
+type step =
+  | Cpu of Sim_time.t
+  | Touch of { count : int; write_ratio : float }
+  | Io of { reads : int; writes : int }
+
+type user = {
+  task : Task.t;
+  region : Vm_map.region;
+  rng : Rng.t;
+  specific : bool;  (* region under a private HiPEC policy *)
+  mutable steps : step list;
+  mutable jobs_done : int;
+  mutable dead : bool;
+}
+
+(* One job of each workload mix; durations are of the order of AIM's
+   simulated "user commands". *)
+let job_steps mix rng =
+  let ms n = Sim_time.ms n in
+  let jitter lo hi = ms (Rng.int_in rng ~lo ~hi) in
+  match mix with
+  | Standard ->
+      [ Cpu (jitter 20 40); Touch { count = 150; write_ratio = 0.3 };
+        Io { reads = 2; writes = 1 }; Cpu (jitter 5 15) ]
+  | Disk_heavy ->
+      [ Cpu (jitter 5 15); Io { reads = 5; writes = 3 };
+        Touch { count = 50; write_ratio = 0.2 }; Io { reads = 2; writes = 1 } ]
+  | Memory_heavy ->
+      [ Cpu (jitter 5 15); Touch { count = 450; write_ratio = 0.5 };
+        Io { reads = 1; writes = 0 }; Touch { count = 150; write_ratio = 0.3 } ]
+
+type sched = {
+  kernel : Kernel.t;
+  config : config;
+  data_base_block : int;
+  data_blocks : int;
+  mutable ready : user list;  (* reversed arrival order *)
+  mutable cpu_busy : bool;
+  mutable cpu_busy_time : Sim_time.t;
+}
+
+let push sched user = if not user.dead then sched.ready <- user :: sched.ready
+
+let pop sched =
+  match List.rev sched.ready with
+  | [] -> None
+  | first :: rest ->
+      sched.ready <- List.rev rest;
+      Some first
+
+let within_horizon sched =
+  Sim_time.( < ) (Kernel.now sched.kernel) sched.config.duration
+
+let rec dispatch sched =
+  if (not sched.cpu_busy) && within_horizon sched then
+    match pop sched with
+    | None -> ()
+    | Some user -> run_user sched user
+
+and run_user sched user =
+  match user.steps with
+  | [] ->
+      user.jobs_done <- user.jobs_done + 1;
+      if within_horizon sched then begin
+        user.steps <- job_steps sched.config.mix user.rng;
+        push sched user
+      end;
+      dispatch sched
+  | Cpu d :: rest ->
+      user.steps <- rest;
+      sched.cpu_busy <- true;
+      sched.cpu_busy_time <- Sim_time.add sched.cpu_busy_time d;
+      ignore
+        (Engine.schedule (Kernel.engine sched.kernel) ~after:d (fun _ ->
+             sched.cpu_busy <- false;
+             push sched user;
+             dispatch sched))
+  | Touch { count; write_ratio } :: rest ->
+      user.steps <- rest;
+      (* hold the CPU: disk completions firing during the touches call
+         dispatch, which must not hand the CPU to a second user *)
+      sched.cpu_busy <- true;
+      let t0 = Kernel.now sched.kernel in
+      (try
+         for _ = 1 to count do
+           let page = Rng.int user.rng user.region.Vm_map.npages in
+           let write = Rng.float user.rng 1.0 < write_ratio in
+           Kernel.access_vpn sched.kernel user.task
+             ~vpn:(user.region.Vm_map.start_vpn + page) ~write
+         done
+       with Kernel.Task_terminated _ -> user.dead <- true);
+      sched.cpu_busy_time <-
+        Sim_time.add sched.cpu_busy_time (Sim_time.sub (Kernel.now sched.kernel) t0);
+      sched.cpu_busy <- false;
+      push sched user;
+      dispatch sched
+  | Io { reads; writes } :: rest ->
+      user.steps <- rest;
+      let remaining = ref (reads + writes) in
+      if !remaining = 0 then begin
+        push sched user;
+        dispatch sched
+      end
+      else begin
+        let on_complete _ =
+          decr remaining;
+          if !remaining = 0 then begin
+            push sched user;
+            dispatch sched
+          end
+        in
+        let disk = Kernel.disk sched.kernel in
+        let random_extent () =
+          sched.data_base_block + (Rng.int user.rng (sched.data_blocks - 16))
+        in
+        for _ = 1 to reads do
+          Hipec_machine.Disk.submit_read disk ~block:(random_extent ()) ~nblocks:8
+            on_complete
+        done;
+        for _ = 1 to writes do
+          Hipec_machine.Disk.submit_write disk ~block:(random_extent ()) ~nblocks:8
+            on_complete
+        done;
+        (* the CPU is free while this user waits on the disk *)
+        dispatch sched
+      end
+
+let run config =
+  let kconfig =
+    {
+      Kernel.default_config with
+      total_frames = config.total_frames;
+      seed = config.seed;
+      hipec_kernel = config.hipec_kernel;
+    }
+  in
+  if config.specific_users > 0 && not config.hipec_kernel then
+    invalid_arg "Aim.run: specific users need the HiPEC kernel";
+  if config.specific_users > config.users then
+    invalid_arg "Aim.run: more specific users than users";
+  let kernel = Kernel.create ~config:kconfig () in
+  (* the HiPEC kernel runs its security-checker daemon even when no
+     specific application is active (that is its Figure 5 overhead) *)
+  let hipec = if config.hipec_kernel then Some (Hipec_core.Api.init kernel) else None in
+  (* a shared on-disk data area for the jobs' explicit file I/O *)
+  let data_blocks = 65_536 in
+  let data_base_block = Kernel.alloc_disk_extent kernel ~npages:(data_blocks / 8) in
+  let sched =
+    {
+      kernel;
+      config;
+      data_base_block;
+      data_blocks;
+      ready = [];
+      cpu_busy = false;
+      cpu_busy_time = Sim_time.zero;
+    }
+  in
+  let master_rng = Rng.create ~seed:config.seed in
+  let users =
+    List.init config.users (fun i ->
+        let task = Kernel.create_task kernel ~name:(Printf.sprintf "user-%d" i) () in
+        let specific = i < config.specific_users in
+        let region =
+          if specific then begin
+            (* a specific application: private second-chance management
+               with its working set guaranteed by minFrame *)
+            let sys = Option.get hipec in
+            let spec =
+              Hipec_core.Api.default_spec
+                ~policy:(Hipec_core.Policies.fifo_second_chance ())
+                ~min_frames:config.user_region_pages
+            in
+            match
+              Hipec_core.Api.vm_allocate_hipec sys task
+                ~npages:config.user_region_pages spec
+            with
+            | Ok (region, _) -> region
+            | Error e -> failwith ("Aim.run: " ^ e)
+          end
+          else Kernel.vm_allocate kernel task ~npages:config.user_region_pages
+        in
+        let rng = Rng.split master_rng in
+        { task; region; rng; specific; steps = job_steps config.mix rng; jobs_done = 0;
+          dead = false })
+  in
+  List.iter (fun u -> push sched u) users;
+  dispatch sched;
+  Engine.run_until (Kernel.engine kernel) config.duration;
+  let jobs_completed = List.fold_left (fun acc u -> acc + u.jobs_done) 0 users in
+  let specific_jobs_completed =
+    List.fold_left (fun acc u -> if u.specific then acc + u.jobs_done else acc) 0 users
+  in
+  let faults = List.fold_left (fun acc u -> acc + Task.faults u.task) 0 users in
+  {
+    jobs_completed;
+    jobs_per_minute = float_of_int jobs_completed /. Sim_time.to_min_f config.duration;
+    specific_jobs_completed;
+    faults;
+    pageouts = Pageout.pageout_writes (Kernel.pageout kernel);
+    cpu_busy = sched.cpu_busy_time;
+    disk_busy = Hipec_machine.Disk.busy_time (Kernel.disk kernel);
+  }

@@ -1,0 +1,44 @@
+(** Drivers for the paper's measurement experiments (§5.1).
+
+    Table 3 measures the time to fault in 40 MB of virtual address
+    space, with and without disk I/O, on the unmodified kernel and
+    under HiPEC running the identical FIFO-with-second-chance policy.
+    Table 4 compares the mechanism costs: null system call, null IPC,
+    and HiPEC's fetch+decode fast path. *)
+
+open Hipec_sim
+
+type kernel_kind = Mach | Hipec
+
+val kernel_kind_name : kernel_kind -> string
+
+type table3_row = {
+  kind : kernel_kind;
+  with_disk_io : bool;
+  pages : int;
+  elapsed : Sim_time.t;
+  faults : int;
+}
+
+val table3_run : ?pages:int -> ?seed:int -> kernel_kind -> with_disk_io:bool -> table3_row
+(** Default 10240 pages = 40 MB, as in the paper. *)
+
+val overhead_percent : baseline:table3_row -> subject:table3_row -> float
+
+val fault_latency_profile :
+  ?pages:int -> ?seed:int -> kernel_kind -> with_disk_io:bool ->
+  Hipec_sim.Stats.Summary.t * Hipec_sim.Stats.Histogram.t
+(** Per-fault service-time distribution (in microseconds) over a fresh
+    touch of [pages] pages — the microscopic view behind Table 3's
+    totals.  The histogram spans 0–16 ms in 16 buckets. *)
+
+type table4_row = {
+  null_syscall : Sim_time.t;
+  null_ipc : Sim_time.t;
+  hipec_fast_path : Sim_time.t;
+      (** fetch+decode time of the 3-command PageFault fast path
+          (Comp, DeQueue, Return) *)
+  fast_path_commands : int;
+}
+
+val table4_run : unit -> table4_row

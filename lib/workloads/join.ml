@@ -1,0 +1,118 @@
+open Hipec_sim
+open Hipec_machine
+open Hipec_vm
+open Hipec_core
+
+type config = {
+  outer_mb : int;
+  memory_mb : int;
+  inner_bytes : int;
+  tuple_bytes : int;
+  per_tuple_cost : Sim_time.t;
+  total_frames : int;
+}
+
+let mib = 1024 * 1024
+
+let default_config =
+  {
+    outer_mb = 40;
+    memory_mb = 40;
+    inner_bytes = 4096;
+    tuple_bytes = 64;
+    per_tuple_cost = Sim_time.ns 200;
+    total_frames = 16_384;
+  }
+
+let loops c = c.inner_bytes / c.tuple_bytes
+let outer_pages c = c.outer_mb * mib / Frame.page_size
+let memory_pages c = c.memory_mb * mib / Frame.page_size
+
+type policy = Kernel_default | Hipec_mru | Hipec_fifo | Hipec_lru | Hipec_custom of Api.spec
+
+type result = {
+  elapsed : Sim_time.t;
+  faults : int;
+  pageins : int;
+  output_tuples : int;
+}
+
+(* The paper's analytic fault counts.  With the outer table no larger
+   than the managed memory, both policies fault each page exactly once. *)
+let predicted_faults which c =
+  let n = outer_pages c and m = memory_pages c and l = loops c in
+  if n <= m then n
+  else
+    match which with
+    | `Lru -> n * l
+    | `Mru -> ((n - m) * (l - 1)) + n
+
+let predicted_gain c fault_handle_time =
+  let pf_l = predicted_faults `Lru c and pf_m = predicted_faults `Mru c in
+  Sim_time.mul fault_handle_time (max 0 (pf_l - pf_m))
+
+let hipec_spec c = function
+  | Hipec_mru -> Some (Api.default_spec ~policy:(Policies.mru ()) ~min_frames:(memory_pages c))
+  | Hipec_fifo ->
+      Some (Api.default_spec ~policy:(Policies.fifo ()) ~min_frames:(memory_pages c))
+  | Hipec_lru -> Some (Api.default_spec ~policy:(Policies.lru ()) ~min_frames:(memory_pages c))
+  | Hipec_custom spec -> Some spec
+  | Kernel_default -> None
+
+let run ?(seed = 1) policy c =
+  if c.inner_bytes mod c.tuple_bytes <> 0 then invalid_arg "Join.run: inner/tuple mismatch";
+  let n_pages = outer_pages c in
+  let m_pages = memory_pages c in
+  let spec = hipec_spec c policy in
+  let total_frames =
+    match spec with
+    | Some _ -> c.total_frames
+    | None ->
+        (* the unmodified kernel: size the machine so the outer table can
+           cache exactly MSize pages, as the paper's setup does *)
+        m_pages + 128
+  in
+  let config =
+    { Kernel.default_config with total_frames; seed; hipec_kernel = spec <> None }
+  in
+  let kernel = Kernel.create ~config () in
+  (match spec with
+  | None ->
+      Pageout.set_targets (Kernel.pageout kernel) ~free_target:64 ~reserved:8 ()
+  | Some _ -> ());
+  let task = Kernel.create_task kernel ~name:"join" () in
+  (* the pinned 4 KB inner table *)
+  let inner_pages = max 1 (c.inner_bytes / Frame.page_size) in
+  let inner = Kernel.vm_map_file kernel task ~name:"inner-table" ~npages:inner_pages () in
+  Kernel.wire_region kernel task inner;
+  (* the outer table *)
+  let outer, _container =
+    match spec with
+    | None -> (Kernel.vm_map_file kernel task ~name:"outer-table" ~npages:n_pages (), None)
+    | Some spec -> (
+        let sys = Api.init kernel in
+        match Api.vm_map_hipec sys task ~name:"outer-table" ~npages:n_pages spec with
+        | Ok (region, container) -> (region, Some container)
+        | Error e -> failwith ("Join.run: " ^ e))
+  in
+  let t0 = Kernel.now kernel in
+  let faults0 = Task.faults task in
+  let pageins0 = Task.pageins task in
+  let tuples_per_page = Frame.page_size / c.tuple_bytes in
+  let scans = loops c in
+  let output = ref 0 in
+  for _scan = 1 to scans do
+    for page = 0 to n_pages - 1 do
+      Kernel.access_vpn kernel task ~vpn:(outer.Vm_map.start_vpn + page) ~write:false;
+      (* join every tuple of this page against the pinned inner tuple *)
+      Kernel.charge kernel (Sim_time.mul c.per_tuple_cost tuples_per_page);
+      output := !output + tuples_per_page
+    done
+  done;
+  Kernel.drain_io kernel;
+  {
+    elapsed = Sim_time.sub (Kernel.now kernel) t0;
+    faults = Task.faults task - faults0;
+    pageins = Task.pageins task - pageins0;
+    output_tuples = !output;
+  }

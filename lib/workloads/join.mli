@@ -1,0 +1,52 @@
+(** The nested-loops join operator of the paper's §5.3.
+
+    A 4 KB inner table is pinned in memory; the outer table (20–60 MB of
+    64-byte tuples) is scanned once per inner tuple (Loop = 64 scans).
+    Under an LRU-like kernel policy every scan refaults the whole outer
+    table once it exceeds the 40 MB of managed memory; under HiPEC's MRU
+    policy only the excess pages fault per scan.  Figure 6 plots the
+    elapsed minutes; the analytic fault counts are PF_l and PF_m. *)
+
+open Hipec_sim
+
+type config = {
+  outer_mb : int;  (** outer table size, 20..60 in the paper *)
+  memory_mb : int;  (** MSize: frames under private management (40) *)
+  inner_bytes : int;  (** 4096 *)
+  tuple_bytes : int;  (** 64; Loop = inner_bytes / tuple_bytes = 64 *)
+  per_tuple_cost : Sim_time.t;  (** CPU cost of one tuple comparison *)
+  total_frames : int;  (** machine size; 16384 = 64 MB *)
+}
+
+val default_config : config
+(** The paper's parameters: 40 MB managed, 4 KB inner, 64 B tuples,
+    200 ns per tuple, 64 MB machine. *)
+
+val loops : config -> int
+(** Number of outer-table scans = tuples in the inner table. *)
+
+val outer_pages : config -> int
+
+(** Which replacement policy manages the outer table. *)
+type policy =
+  | Kernel_default  (** the unmodified kernel's LRU-like global policy *)
+  | Hipec_mru  (** HiPEC with the MRU policy (the paper's solution) *)
+  | Hipec_fifo
+  | Hipec_lru
+  | Hipec_custom of Hipec_core.Api.spec
+
+type result = {
+  elapsed : Sim_time.t;
+  faults : int;  (** outer-table faults *)
+  pageins : int;
+  output_tuples : int;  (** join matches produced (all pairs here) *)
+}
+
+val predicted_faults : [ `Lru | `Mru ] -> config -> int
+(** The paper's PF_l and PF_m formulas. *)
+
+val predicted_gain : config -> Sim_time.t -> Sim_time.t
+(** [(PF_l - PF_m) * fault_handle_time] — the paper's Gain equation. *)
+
+val run : ?seed:int -> policy -> config -> result
+(** Build the tables on a fresh simulated machine and run the join. *)

@@ -1,0 +1,137 @@
+open Hipec_sim
+open Hipec_machine
+open Hipec_vm
+open Hipec_core
+
+type mechanism = Hipec_interpreted | Upcall | Ipc_pager
+
+let mechanism_name = function
+  | Hipec_interpreted -> "HiPEC (in-kernel interpretation)"
+  | Upcall -> "upcall handler"
+  | Ipc_pager -> "IPC external pager"
+
+type config = { pages : int; frames : int; passes : int; seed : int }
+
+let default_config = { pages = 512; frames = 256; passes = 4; seed = 3 }
+
+type result = {
+  mechanism : mechanism;
+  elapsed : Sim_time.t;
+  faults : int;
+  replacement_decisions : int;
+  crossing_time : Sim_time.t;
+}
+
+let sweep kernel task region passes =
+  for _ = 1 to passes do
+    Kernel.touch_region kernel task region ~write:false
+  done;
+  Kernel.drain_io kernel
+
+let run_hipec c =
+  let config =
+    { Kernel.default_config with Kernel.total_frames = 16_384; seed = c.seed;
+      hipec_kernel = true }
+  in
+  let kernel = Kernel.create ~config () in
+  let sys = Api.init kernel in
+  let task = Kernel.create_task kernel () in
+  match
+    Api.vm_allocate_hipec sys task ~npages:c.pages
+      (Api.default_spec ~policy:(Policies.fifo ()) ~min_frames:c.frames)
+  with
+  | Error e -> failwith ("Mechanism.run: " ^ e)
+  | Ok (region, container) ->
+      let t0 = Kernel.now kernel in
+      let faults0 = Task.faults task in
+      sweep kernel task region c.passes;
+      let costs = Kernel.costs kernel in
+      let crossing_time =
+        Sim_time.add
+          (Sim_time.mul costs.Costs.hipec_dispatch (Container.events_run container))
+          (Sim_time.mul costs.Costs.hipec_fetch_decode
+             (Container.commands_interpreted container))
+      in
+      {
+        mechanism = Hipec_interpreted;
+        elapsed = Sim_time.sub (Kernel.now kernel) t0;
+        faults = Task.faults task - faults0;
+        replacement_decisions = Container.events_run container;
+        crossing_time;
+      }
+
+(* The application's FIFO handler running at user level: per fault the
+   kernel crosses out to it and it traps back.  [crossing] is the
+   one-way boundary cost (null syscall for upcalls, null IPC for an
+   external pager message). *)
+let run_crossing mechanism crossing c =
+  let config =
+    { Kernel.default_config with Kernel.total_frames = 16_384; seed = c.seed;
+      hipec_kernel = true }
+  in
+  let kernel = Kernel.create ~config () in
+  let task = Kernel.create_task kernel () in
+  let obj = Vm_object.create ~name:"managed" ~size_pages:c.pages ~backing:Vm_object.Zero_fill () in
+  let region =
+    Kernel.vm_map_object kernel task ~obj ~obj_offset:0 ~npages:c.pages
+      ~prot:Pmap.Read_write
+  in
+  (* the application's private frame list, granted once at setup *)
+  let free_slots =
+    ref
+      (List.map
+         (fun frame -> Vm_page.create ~frame)
+         (Frame.Table.alloc_many (Kernel.frame_table kernel) c.frames))
+  in
+  let active = Page_queue.create "user-fifo" in
+  let decisions = ref 0 in
+  let crossing_total = ref Sim_time.zero in
+  let costs = Kernel.costs kernel in
+  let charge_crossings () =
+    (* out to the handler and back *)
+    let d = Sim_time.mul crossing 2 in
+    Engine.advance (Kernel.engine kernel) d;
+    crossing_total := Sim_time.add !crossing_total d
+  in
+  Kernel.set_manager kernel obj
+    {
+      Kernel.on_fault =
+        (fun ~task:_ ~obj ~offset:_ ~write:_ ->
+          incr decisions;
+          charge_crossings ();
+          match !free_slots with
+          | slot :: rest ->
+              free_slots := rest;
+              Kernel.Grant_page slot
+          | [] -> (
+              (* user-level FIFO: evict the oldest resident page *)
+              Engine.advance (Kernel.engine kernel) costs.Costs.queue_op;
+              match Page_queue.dequeue_head active with
+              | None -> Kernel.Deny "user pager has no page to evict"
+              | Some victim ->
+                  Vm_object.disconnect obj victim;
+                  Kernel.Grant_page victim));
+      on_resolved =
+        (fun ~task:_ ~page ->
+          Engine.advance (Kernel.engine kernel) costs.Costs.hipec_frame_bookkeeping;
+          Page_queue.enqueue_tail active page);
+      on_task_terminated = (fun ~task:_ -> ());
+    };
+  let t0 = Kernel.now kernel in
+  let faults0 = Task.faults task in
+  sweep kernel task region c.passes;
+  {
+    mechanism;
+    elapsed = Sim_time.sub (Kernel.now kernel) t0;
+    faults = Task.faults task - faults0;
+    replacement_decisions = !decisions;
+    crossing_time = !crossing_total;
+  }
+
+let run mechanism c =
+  if c.frames <= 0 || c.pages <= 0 || c.passes <= 0 then
+    invalid_arg "Mechanism.run: non-positive config";
+  match mechanism with
+  | Hipec_interpreted -> run_hipec c
+  | Upcall -> run_crossing Upcall Costs.default.Costs.null_syscall c
+  | Ipc_pager -> run_crossing Ipc_pager Costs.default.Costs.null_ipc c

@@ -1,0 +1,43 @@
+(** End-to-end comparison of the mechanisms for application-controlled
+    page replacement that the paper's sections 2–3 discuss:
+
+    - {b HiPEC}: the policy interpreted in kernel context (this repo's
+      whole point) — per decision, fetch+decode of a few commands;
+    - {b Upcall} (Krueger-style): the kernel upcalls the application's
+      handler and the application traps back — two kernel crossings at
+      null-system-call cost per replacement decision;
+    - {b IPC external pager} (PREMO/Mach-style): a message round trip
+      to a user-level pager task — two null-IPC costs per decision.
+
+    All three run the identical FIFO replacement over the identical
+    fault workload on the same simulated machine, so the elapsed-time
+    differences isolate the mechanism — Table 4's argument made
+    end-to-end. *)
+
+open Hipec_sim
+
+type mechanism = Hipec_interpreted | Upcall | Ipc_pager
+
+val mechanism_name : mechanism -> string
+
+type config = {
+  pages : int;  (** region size *)
+  frames : int;  (** private frames: below [pages] forces replacement *)
+  passes : int;  (** cyclic sweeps over the region *)
+  seed : int;
+}
+
+val default_config : config
+(** 512 pages, 256 frames, 4 passes. *)
+
+type result = {
+  mechanism : mechanism;
+  elapsed : Sim_time.t;
+  faults : int;
+  replacement_decisions : int;
+  crossing_time : Sim_time.t;
+      (** time attributable to the mechanism itself (kernel crossings or
+          command interpretation) *)
+}
+
+val run : mechanism -> config -> result

@@ -1,0 +1,23 @@
+(** Offline (trace-driven) replacement simulation.
+
+    Replays an access trace against an idealized cache of [frames]
+    slots under classic policies, including Belady's optimal — the
+    yardstick no online policy can beat.  Used to sanity-check the live
+    kernel's fault counts and to advise which HiPEC policy fits a
+    trace (what the paper expects the specific-application designer to
+    know). *)
+
+type policy = Fifo | Lru | Mru | Clock | Opt
+
+val policy_name : policy -> string
+val all_policies : policy list
+
+val faults : policy -> frames:int -> Access_trace.access array -> int
+(** Cold-start fault count for the trace.  Raises [Invalid_argument]
+    when [frames <= 0]. *)
+
+val sweep : frames:int -> Access_trace.access array -> (policy * int) list
+(** Every policy on one trace, best (fewest faults) first. *)
+
+val advise : frames:int -> Access_trace.access array -> policy
+(** The best {e online} policy for the trace (never [Opt]). *)

@@ -1,0 +1,483 @@
+(* Tests for the mini database (the paper's final future-work item):
+   schema math, heap tables, the page-backed B+-tree, query operators,
+   and per-query policy switching. *)
+
+open Hipec_minidb
+open Hipec_vm
+open Hipec_core
+module T = Hipec_sim.Sim_time
+module Rng = Hipec_sim.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_schema_layout () =
+  let s = Schema.create () in
+  Alcotest.(check int) "64B tuples" 64 (Schema.tuple_bytes s);
+  Alcotest.(check int) "64 per page" 64 (Schema.tuples_per_page s);
+  Alcotest.(check int) "row 0" 0 (Schema.page_of_row s 0);
+  Alcotest.(check int) "row 63" 0 (Schema.page_of_row s 63);
+  Alcotest.(check int) "row 64" 1 (Schema.page_of_row s 64);
+  Alcotest.(check int) "pages for 0 rows" 0 (Schema.pages_for_rows s 0);
+  Alcotest.(check int) "pages for 65 rows" 2 (Schema.pages_for_rows s 65)
+
+let test_schema_rejects_bad_width () =
+  Alcotest.check_raises "non-divisor"
+    (Invalid_argument "Schema.create: tuple size must divide the page size") (fun () ->
+      ignore (Schema.create ~tuple_bytes:100 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Heap tables                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sequential_keys n = Array.init n (fun i -> i * 10)
+
+let test_heap_read_write () =
+  let db = Db.create ~frames:2_048 () in
+  let table = Heap_table.create db ~name:"t" ~keys:(sequential_keys 200) () in
+  Alcotest.(check int) "row count" 200 (Heap_table.row_count table);
+  Alcotest.(check int) "read" 70 (Heap_table.read_row table 7);
+  Heap_table.write_row table 7 999;
+  Alcotest.(check int) "updated" 999 (Heap_table.read_row table 7);
+  Alcotest.check_raises "range check"
+    (Invalid_argument "Heap_table.t: row 200 out of range") (fun () ->
+      ignore (Heap_table.read_row table 200))
+
+let test_heap_scan_order_and_cost () =
+  let db = Db.create ~frames:2_048 () in
+  let keys = sequential_keys 300 in
+  let table = Heap_table.create db ~name:"t" ~buffer_pages:16 ~keys () in
+  let seen = ref [] in
+  let (), faults =
+    Db.faults_during db (fun () ->
+        Heap_table.scan table ~f:(fun ~row:_ ~key -> seen := key :: !seen))
+  in
+  Alcotest.(check int) "all rows" 300 (List.length !seen);
+  Alcotest.(check (list int)) "storage order" (Array.to_list keys) (List.rev !seen);
+  (* 300 rows = 5 pages; buffer of 16 covers it after the load evictions *)
+  Alcotest.(check bool) "page-granular cost" true (faults <= Heap_table.pages table)
+
+let test_heap_policy_switch_preserves_data () =
+  let db = Db.create ~frames:2_048 () in
+  let table = Heap_table.create db ~name:"t" ~keys:(sequential_keys 500) () in
+  Heap_table.write_row table 123 4567;
+  Heap_table.set_policy table Db.Mru;
+  Alcotest.(check bool) "policy switched" true (Heap_table.policy table = Db.Mru);
+  (* data survives the remap: dirty pages were flushed to the file *)
+  Alcotest.(check int) "updated row survives" 4567 (Heap_table.read_row table 123);
+  Alcotest.(check int) "other rows survive" 40 (Heap_table.read_row table 4);
+  Alcotest.(check bool) "frames conserved" true
+    (Hipec_machine.Frame.Table.check_conservation
+       (Kernel.frame_table (Db.kernel db)))
+
+let test_heap_buffer_limits_residency () =
+  let db = Db.create ~frames:4_096 () in
+  let table =
+    Heap_table.create db ~name:"big" ~buffer_pages:20 ~keys:(sequential_keys 6_400) ()
+  in
+  (* 100 pages, 20-frame buffer: a full scan must evict *)
+  Heap_table.scan table ~f:(fun ~row:_ ~key:_ -> ());
+  Alcotest.(check bool) "bounded residency" true
+    (Container.resident_pages (Heap_table.container table) <= 20);
+  Alcotest.(check int) "frames held = buffer" 20
+    (Container.frames_held (Heap_table.container table))
+
+(* ------------------------------------------------------------------ *)
+(* B+-tree                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_btree_insert_search () =
+  let db = Db.create ~frames:4_096 () in
+  let bt = Btree.create db ~name:"idx" ~order:4 () in
+  List.iter (fun k -> Btree.insert bt ~key:k ~row:(k * 2)) [ 5; 1; 9; 3; 7; 2; 8; 4; 6; 0 ];
+  Alcotest.(check int) "entries" 10 (Btree.entry_count bt);
+  for k = 0 to 9 do
+    Alcotest.(check (option int)) (Printf.sprintf "key %d" k) (Some (k * 2))
+      (Btree.search bt ~key:k)
+  done;
+  Alcotest.(check (option int)) "missing" None (Btree.search bt ~key:42);
+  Alcotest.(check bool) "invariants" true (Btree.check_invariants bt);
+  Alcotest.(check bool) "actually split" true (Btree.height bt > 1)
+
+let test_btree_duplicate_overwrites () =
+  let db = Db.create ~frames:4_096 () in
+  let bt = Btree.create db ~name:"idx" () in
+  Btree.insert bt ~key:5 ~row:1;
+  Btree.insert bt ~key:5 ~row:2;
+  Alcotest.(check int) "one entry" 1 (Btree.entry_count bt);
+  Alcotest.(check (option int)) "latest row" (Some 2) (Btree.search bt ~key:5)
+
+let test_btree_range () =
+  let db = Db.create ~frames:4_096 () in
+  let bt = Btree.create db ~name:"idx" ~order:4 () in
+  for k = 0 to 49 do
+    Btree.insert bt ~key:(k * 2) ~row:k
+  done;
+  let hits = Btree.range bt ~lo:10 ~hi:21 in
+  Alcotest.(check (list (pair int int))) "inclusive range"
+    [ (10, 5); (12, 6); (14, 7); (16, 8); (18, 9); (20, 10) ]
+    hits;
+  Alcotest.(check (list (pair int int))) "empty range" [] (Btree.range bt ~lo:21 ~hi:20);
+  Alcotest.(check int) "full range" 50 (List.length (Btree.range bt ~lo:0 ~hi:1000))
+
+let test_btree_large_random () =
+  let db = Db.create ~frames:8_192 () in
+  let bt = Btree.create db ~name:"idx" ~order:8 () in
+  let rng = Rng.create ~seed:5 in
+  let keys = Array.init 2_000 (fun _ -> Rng.int rng 1_000_000) in
+  Array.iteri (fun i k -> Btree.insert bt ~key:k ~row:i) keys;
+  Alcotest.(check bool) "invariants after 2000 inserts" true (Btree.check_invariants bt);
+  (* the last writer for each key wins *)
+  let expected = Hashtbl.create 64 in
+  Array.iteri (fun i k -> Hashtbl.replace expected k i) keys;
+  Hashtbl.iter
+    (fun k i ->
+      Alcotest.(check (option int)) (Printf.sprintf "key %d" k) (Some i)
+        (Btree.search bt ~key:k))
+    expected;
+  Alcotest.(check int) "entry count" (Hashtbl.length expected) (Btree.entry_count bt)
+
+let test_btree_delete_basics () =
+  let db = Db.create ~frames:4_096 () in
+  let bt = Btree.create db ~name:"idx" ~order:4 () in
+  for k = 0 to 29 do
+    Btree.insert bt ~key:k ~row:k
+  done;
+  Alcotest.(check bool) "absent delete is false" false (Btree.delete bt ~key:99);
+  Alcotest.(check bool) "present delete" true (Btree.delete bt ~key:13);
+  Alcotest.(check (option int)) "gone" None (Btree.search bt ~key:13);
+  Alcotest.(check int) "count" 29 (Btree.entry_count bt);
+  Alcotest.(check bool) "no double delete" false (Btree.delete bt ~key:13);
+  Alcotest.(check bool) "invariants" true (Btree.check_invariants bt);
+  (* neighbours survive *)
+  Alcotest.(check (option int)) "12 intact" (Some 12) (Btree.search bt ~key:12);
+  Alcotest.(check (option int)) "14 intact" (Some 14) (Btree.search bt ~key:14)
+
+let test_btree_delete_everything_shrinks () =
+  let db = Db.create ~frames:4_096 () in
+  let bt = Btree.create db ~name:"idx" ~order:4 () in
+  for k = 0 to 199 do
+    Btree.insert bt ~key:k ~row:k
+  done;
+  let tall = Btree.height bt in
+  let nodes_full = Btree.node_count bt in
+  for k = 0 to 199 do
+    Alcotest.(check bool) (Printf.sprintf "delete %d" k) true (Btree.delete bt ~key:k);
+    Alcotest.(check bool) "invariants hold" true (Btree.check_invariants bt)
+  done;
+  Alcotest.(check int) "empty" 0 (Btree.entry_count bt);
+  Alcotest.(check int) "height collapsed" 1 (Btree.height bt);
+  Alcotest.(check int) "one node left" 1 (Btree.node_count bt);
+  Alcotest.(check bool) "was tall" true (tall > 2 && nodes_full > 50);
+  (* pages were recycled: re-inserting reuses them *)
+  for k = 0 to 199 do
+    Btree.insert bt ~key:k ~row:k
+  done;
+  Alcotest.(check bool) "rebuilt" true (Btree.check_invariants bt);
+  Alcotest.(check (option int)) "works again" (Some 77) (Btree.search bt ~key:77)
+
+let test_btree_node_pages_cost_memory () =
+  let db = Db.create ~frames:4_096 () in
+  let bt = Btree.create db ~name:"idx" ~order:4 ~buffer_pages:16 () in
+  for k = 0 to 999 do
+    Btree.insert bt ~key:k ~row:k
+  done;
+  (* the index is bigger than its buffer: traversals fault *)
+  Alcotest.(check bool) "many nodes" true (Btree.node_count bt > 100);
+  Alcotest.(check bool) "bounded residency" true
+    (Container.resident_pages (Btree.container bt) <= 16)
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_select_count () =
+  let db = Db.create ~frames:2_048 () in
+  let table = Heap_table.create db ~name:"t" ~keys:(sequential_keys 100) () in
+  let count, stats = Query.select_count db table ~pred:(fun k -> k >= 500) in
+  Alcotest.(check int) "predicate rows" 50 count;
+  Alcotest.(check bool) "took time" true T.(stats.Query.elapsed > T.zero)
+
+let test_point_lookup () =
+  let db = Db.create ~frames:4_096 () in
+  let keys = sequential_keys 1_000 in
+  let table = Heap_table.create db ~name:"t" ~keys () in
+  let index = Btree.create db ~name:"t_pk" ~order:8 () in
+  Array.iteri (fun row key -> Btree.insert index ~key ~row) keys;
+  let found, _ = Query.point_lookup db index table ~key:5550 in
+  Alcotest.(check (option int)) "hit" (Some 5550) found;
+  let missing, _ = Query.point_lookup db index table ~key:5551 in
+  Alcotest.(check (option int)) "miss" None missing
+
+let test_join_counts_matches () =
+  let db = Db.create ~frames:4_096 () in
+  let outer = Heap_table.create db ~name:"outer" ~keys:(Array.init 500 (fun i -> i mod 50)) () in
+  let inner = Heap_table.create db ~name:"inner" ~keys:(Array.init 10 (fun i -> i)) () in
+  let matches, _ = Query.nested_loop_join db ~outer ~inner in
+  (* keys 0..9 each appear 10 times in the outer's mod-50 cycle *)
+  Alcotest.(check int) "matches" 100 matches
+
+let test_join_policy_choice_matters () =
+  (* a join whose outer table exceeds its buffer: MRU must beat LRU *)
+  let db = Db.create ~frames:8_192 () in
+  let outer =
+    Heap_table.create db ~name:"outer" ~buffer_pages:32
+      ~keys:(Array.init 4_096 (fun i -> i)) ()  (* 64 pages > 32 buffer *)
+  in
+  let inner = Heap_table.create db ~name:"inner" ~keys:(Array.init 8 (fun i -> i)) () in
+  let time_with policy =
+    Query.with_table_policy outer policy (fun () ->
+        let _, stats = Query.nested_loop_join db ~outer ~inner in
+        stats)
+  in
+  let fifo = time_with Db.Fifo in
+  let mru = time_with Db.Mru in
+  (* FIFO refaults all 64 pages of all 8 scans; MRU only the overflow:
+     64 + 7 * (64 - 32 + 1) = 295 *)
+  Alcotest.(check int) "FIFO faults = pages x scans" 512 fifo.Query.faults;
+  Alcotest.(check bool)
+    (Printf.sprintf "MRU faults %d within 5%% of 295" mru.Query.faults)
+    true
+    (abs (mru.Query.faults - 295) * 20 <= 295);
+  Alcotest.(check bool) "MRU beats FIFO" true (mru.Query.faults < fifo.Query.faults)
+
+let test_range_lookup () =
+  let db = Db.create ~frames:4_096 () in
+  let keys = Array.init 200 (fun i -> i * 3) in
+  let table = Heap_table.create db ~name:"t" ~keys () in
+  let index = Btree.create db ~name:"pk" ~order:8 () in
+  Array.iteri (fun row key -> Btree.insert index ~key ~row) keys;
+  let hits, _ = Query.range_lookup db index table ~lo:30 ~hi:45 in
+  Alcotest.(check (list (pair int int))) "keys and rows agree"
+    [ (30, 30); (33, 33); (36, 36); (39, 39); (42, 42); (45, 45) ]
+    hits
+
+let test_hash_join_matches_nested_loop () =
+  let db = Db.create ~frames:8_192 () in
+  let outer =
+    Heap_table.create db ~name:"outer" ~keys:(Array.init 600 (fun i -> i mod 40)) ()
+  in
+  let inner = Heap_table.create db ~name:"inner" ~keys:[| 1; 5; 5; 39 |] () in
+  let nl, nl_stats = Query.nested_loop_join db ~outer ~inner in
+  let h, h_stats = Query.hash_join db ~outer ~inner in
+  Alcotest.(check int) "same answer" nl h;
+  (* key 1: 15 matches; key 5 twice: 30; key 39: 15 *)
+  Alcotest.(check int) "value" 60 h;
+  Alcotest.(check bool) "hash join reads far less" true
+    T.(h_stats.Query.elapsed < nl_stats.Query.elapsed)
+
+let test_with_policy_restores () =
+  let db = Db.create ~frames:2_048 () in
+  let table = Heap_table.create db ~name:"t" ~policy:Db.Lru ~keys:(sequential_keys 100) () in
+  let inside =
+    Query.with_table_policy table Db.Mru (fun () -> Heap_table.policy table)
+  in
+  Alcotest.(check bool) "switched inside" true (inside = Db.Mru);
+  Alcotest.(check bool) "restored outside" true (Heap_table.policy table = Db.Lru)
+
+(* ------------------------------------------------------------------ *)
+(* External sort                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let is_sorted arr =
+  let ok = ref true in
+  for i = 0 to Array.length arr - 2 do
+    if arr.(i) > arr.(i + 1) then ok := false
+  done;
+  !ok
+
+let table_keys table = Array.init (Heap_table.row_count table) (Heap_table.read_row table)
+
+let test_sort_single_run () =
+  let db = Db.create ~frames:4_096 () in
+  let rng = Rng.create ~seed:2 in
+  let keys = Array.init 500 (fun _ -> Rng.int rng 10_000) in
+  let table = Heap_table.create db ~name:"t" ~keys () in
+  let sorted = Sort.sort db table ~name:"t.sorted" () in
+  let out = table_keys sorted in
+  Alcotest.(check bool) "sorted" true (is_sorted out);
+  let expected = Array.copy keys in
+  Array.sort compare expected;
+  Alcotest.(check bool) "permutation" true (out = expected)
+
+let test_sort_multi_run () =
+  let db = Db.create ~frames:8_192 () in
+  let rng = Rng.create ~seed:3 in
+  let keys = Array.init 2_000 (fun _ -> Rng.int rng 1_000) in
+  let table = Heap_table.create db ~name:"t" ~keys () in
+  Alcotest.(check int) "eight runs" 8 (Sort.runs_needed ~rows:2_000 ~run_rows:256);
+  let sorted = Sort.sort db table ~run_rows:256 ~name:"t.sorted" () in
+  let out = table_keys sorted in
+  Alcotest.(check bool) "sorted" true (is_sorted out);
+  let expected = Array.copy keys in
+  Array.sort compare expected;
+  Alcotest.(check bool) "permutation" true (out = expected)
+
+let test_sort_merge_join_agrees () =
+  let db = Db.create ~frames:8_192 () in
+  let rng = Rng.create ~seed:4 in
+  let outer =
+    Heap_table.create db ~name:"outer" ~keys:(Array.init 700 (fun _ -> Rng.int rng 60)) ()
+  in
+  let inner =
+    Heap_table.create db ~name:"inner" ~keys:(Array.init 50 (fun _ -> Rng.int rng 60)) ()
+  in
+  let h, _ = Query.hash_join db ~outer ~inner in
+  let sm = Sort.sort_merge_join db ~outer ~inner in
+  Alcotest.(check int) "same answer as hash join" h sm
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_btree_matches_reference_model =
+  QCheck.Test.make ~name:"btree agrees with a reference map" ~count:25
+    QCheck.(pair (int_range 4 10) (list_of_size Gen.(1 -- 300) (int_bound 500)))
+    (fun (half_order, keys) ->
+      let db = Db.create ~frames:8_192 () in
+      let bt = Btree.create db ~name:"prop" ~order:(2 * half_order) () in
+      let reference = Hashtbl.create 64 in
+      List.iteri
+        (fun i k ->
+          Btree.insert bt ~key:k ~row:i;
+          Hashtbl.replace reference k i)
+        keys;
+      Btree.check_invariants bt
+      && Btree.entry_count bt = Hashtbl.length reference
+      && Hashtbl.fold
+           (fun k i acc -> acc && Btree.search bt ~key:k = Some i)
+           reference true
+      && Btree.search bt ~key:(-1) = None)
+
+let prop_btree_insert_delete_model =
+  QCheck.Test.make ~name:"btree insert/delete agrees with a reference map" ~count:20
+    QCheck.(pair (int_range 2 6) (list_of_size Gen.(1 -- 250) (pair bool (int_bound 120))))
+    (fun (half_order, ops) ->
+      let db = Db.create ~frames:8_192 () in
+      let bt = Btree.create db ~name:"prop" ~order:(2 * half_order) () in
+      let reference = Hashtbl.create 64 in
+      List.iteri
+        (fun i (is_insert, k) ->
+          if is_insert then begin
+            Btree.insert bt ~key:k ~row:i;
+            Hashtbl.replace reference k i
+          end
+          else begin
+            let expected = Hashtbl.mem reference k in
+            let got = Btree.delete bt ~key:k in
+            Hashtbl.remove reference k;
+            if got <> expected then failwith "delete result mismatch"
+          end)
+        ops;
+      Btree.check_invariants bt
+      && Btree.entry_count bt = Hashtbl.length reference
+      && Hashtbl.fold
+           (fun k i acc -> acc && Btree.search bt ~key:k = Some i)
+           reference true)
+
+let prop_btree_range_equals_filter =
+  QCheck.Test.make ~name:"btree range = sorted filter" ~count:20
+    QCheck.(pair (list_of_size Gen.(1 -- 150) (int_bound 300)) (pair (int_bound 300) (int_bound 300)))
+    (fun (keys, (a, b)) ->
+      let lo = min a b and hi = max a b in
+      let db = Db.create ~frames:8_192 () in
+      let bt = Btree.create db ~name:"prop" ~order:6 () in
+      let reference = Hashtbl.create 64 in
+      List.iteri
+        (fun i k ->
+          Btree.insert bt ~key:k ~row:i;
+          Hashtbl.replace reference k i)
+        keys;
+      let expected =
+        Hashtbl.fold (fun k i acc -> if k >= lo && k <= hi then (k, i) :: acc else acc)
+          reference []
+        |> List.sort compare
+      in
+      Btree.range bt ~lo ~hi = expected)
+
+let prop_external_sort_sorts =
+  QCheck.Test.make ~name:"external sort = List.sort" ~count:10
+    QCheck.(pair (int_range 1 8) (list_of_size Gen.(1 -- 400) (int_bound 1_000)))
+    (fun (run_pow, keys) ->
+      let db = Db.create ~frames:8_192 () in
+      let keys = Array.of_list keys in
+      let table = Heap_table.create db ~name:"p" ~keys () in
+      let sorted = Sort.sort db table ~run_rows:(16 * run_pow) ~name:"p.sorted" () in
+      let out = Array.init (Heap_table.row_count sorted) (Heap_table.read_row sorted) in
+      let expected = Array.copy keys in
+      Array.sort compare expected;
+      out = expected)
+
+let prop_scan_always_returns_all_rows =
+  QCheck.Test.make ~name:"scan visits every row once under any policy" ~count:12
+    QCheck.(pair (int_range 0 3) (int_range 1 400))
+    (fun (which, rows) ->
+      let policy =
+        match which with 0 -> Db.Mru | 1 -> Db.Lru | 2 -> Db.Fifo | _ -> Db.Second_chance
+      in
+      let db = Db.create ~frames:2_048 () in
+      let table =
+        Heap_table.create db ~name:"p" ~policy ~buffer_pages:16
+          ~keys:(Array.init rows (fun i -> i)) ()
+      in
+      let count = ref 0 and sum = ref 0 in
+      Heap_table.scan table ~f:(fun ~row:_ ~key ->
+          incr count;
+          sum := !sum + key);
+      !count = rows && !sum = rows * (rows - 1) / 2)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "minidb"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "layout" `Quick test_schema_layout;
+          Alcotest.test_case "bad width" `Quick test_schema_rejects_bad_width;
+        ] );
+      ( "heap_table",
+        [
+          Alcotest.test_case "read/write" `Quick test_heap_read_write;
+          Alcotest.test_case "scan order and cost" `Quick test_heap_scan_order_and_cost;
+          Alcotest.test_case "policy switch preserves data" `Quick
+            test_heap_policy_switch_preserves_data;
+          Alcotest.test_case "buffer limits residency" `Quick test_heap_buffer_limits_residency;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "insert/search" `Quick test_btree_insert_search;
+          Alcotest.test_case "duplicates" `Quick test_btree_duplicate_overwrites;
+          Alcotest.test_case "range" `Quick test_btree_range;
+          Alcotest.test_case "large random" `Quick test_btree_large_random;
+          Alcotest.test_case "delete basics" `Quick test_btree_delete_basics;
+          Alcotest.test_case "delete everything" `Quick test_btree_delete_everything_shrinks;
+          Alcotest.test_case "node pages cost memory" `Quick
+            test_btree_node_pages_cost_memory;
+        ] );
+      ( "query",
+        [
+          Alcotest.test_case "select count" `Quick test_select_count;
+          Alcotest.test_case "point lookup" `Quick test_point_lookup;
+          Alcotest.test_case "join matches" `Quick test_join_counts_matches;
+          Alcotest.test_case "join policy matters" `Quick test_join_policy_choice_matters;
+          Alcotest.test_case "range lookup" `Quick test_range_lookup;
+          Alcotest.test_case "hash join" `Quick test_hash_join_matches_nested_loop;
+          Alcotest.test_case "with_policy restores" `Quick test_with_policy_restores;
+        ] );
+      ( "sort",
+        [
+          Alcotest.test_case "single run" `Quick test_sort_single_run;
+          Alcotest.test_case "multi run" `Quick test_sort_multi_run;
+          Alcotest.test_case "sort-merge join" `Quick test_sort_merge_join_agrees;
+        ] );
+      ( "properties",
+        qc
+          [
+            prop_btree_matches_reference_model;
+            prop_btree_insert_delete_model;
+            prop_btree_range_equals_filter;
+            prop_scan_always_returns_all_rows;
+            prop_external_sort_sorts;
+          ] );
+    ]

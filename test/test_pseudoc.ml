@@ -1,0 +1,505 @@
+(* Tests for the pseudo-code translator: lexer, parser, code generator
+   and the translated Figure 4 policy running end-to-end. *)
+
+open Hipec_pseudoc
+open Hipec_core
+open Hipec_vm
+module Frame = Hipec_machine.Frame
+module Std = Operand.Std
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let tokens_of src =
+  match Lexer.tokenize src with
+  | Ok toks -> List.map (fun t -> t.Token.token) toks
+  | Error e -> Alcotest.fail e
+
+let test_lexer_basics () =
+  Alcotest.(check bool) "keywords and idents" true
+    (tokens_of "event PageFault() { return page }"
+    = [
+        Token.Kw_event; Token.Ident "PageFault"; Token.Lparen; Token.Rparen; Token.Lbrace;
+        Token.Kw_return; Token.Ident "page"; Token.Rbrace; Token.Eof;
+      ])
+
+let test_lexer_operators () =
+  Alcotest.(check bool) "compound operators" true
+    (tokens_of "== != <= >= && || ! = < >"
+    = [
+        Token.Eq; Token.Ne; Token.Le; Token.Ge; Token.And_and; Token.Or_or; Token.Bang;
+        Token.Assign; Token.Lt; Token.Gt; Token.Eof;
+      ])
+
+let test_lexer_comments () =
+  Alcotest.(check bool) "comments skipped" true
+    (tokens_of "a // line\nb /* block\nstill */ c # hash\nd"
+    = [ Token.Ident "a"; Token.Ident "b"; Token.Ident "c"; Token.Ident "d"; Token.Eof ])
+
+let test_lexer_errors () =
+  (match Lexer.tokenize "a & b" with
+  | Error e -> Alcotest.(check bool) "location in error" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "accepted single &");
+  match Lexer.tokenize "/* unterminated" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted unterminated comment"
+
+let test_lexer_line_numbers () =
+  match Lexer.tokenize "a\nb\n  c" with
+  | Ok [ a; b; c; _eof ] ->
+      Alcotest.(check int) "a line" 1 a.Token.line;
+      Alcotest.(check int) "b line" 2 b.Token.line;
+      Alcotest.(check int) "c line" 3 c.Token.line;
+      Alcotest.(check int) "c column" 3 c.Token.column
+  | Ok _ | Error _ -> Alcotest.fail "unexpected tokenization"
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ok src =
+  match Parser.parse_string src with Ok p -> p | Error e -> Alcotest.fail e
+
+let minimal_events body =
+  Printf.sprintf
+    "event PageFault() { %s return page } event ReclaimFrame() { return }" body
+
+let test_parse_figure4 () =
+  let ast = parse_ok Translate.figure4_source in
+  Alcotest.(check int) "three events" 3 (List.length ast.Ast.events);
+  Alcotest.(check (list string)) "event names"
+    [ "PageFault"; "Lack_free_frame"; "ReclaimFrame" ]
+    (List.map (fun e -> e.Ast.event_name) ast.Ast.events)
+
+let test_parse_if_else_nesting () =
+  let ast =
+    parse_ok
+      (minimal_events
+         "if (_free_count > 0) { page = dequeue_head(_free_queue) } else { if (empty(_active_queue)) { Other() } }")
+  in
+  match (List.hd ast.Ast.events).Ast.body with
+  | [ Ast.If (_, [ Ast.Dequeue (`Head, "_free_queue") ], [ Ast.If (_, [ Ast.Activate "Other" ], []) ]); _ ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected AST shape"
+
+let test_parse_precedence () =
+  (* a + b * c parses as a + (b * c); && binds tighter than || *)
+  let ast = parse_ok (minimal_events "x = a + b * c") in
+  (match (List.hd ast.Ast.events).Ast.body with
+  | [ Ast.Assign ("x", Ast.Binop (Ast.Add, Ast.Var "a", Ast.Binop (Ast.Mul, Ast.Var "b", Ast.Var "c"))); _ ] ->
+      ()
+  | _ -> Alcotest.fail "arith precedence wrong");
+  let ast =
+    parse_ok (minimal_events "if (empty(_free_queue) || referenced(page) && modified(page)) { flush(page) }")
+  in
+  match (List.hd ast.Ast.events).Ast.body with
+  | [ Ast.If (Ast.Or (Ast.Empty _, Ast.And (Ast.Referenced, Ast.Modified)), _, _); _ ] -> ()
+  | _ -> Alcotest.fail "boolean precedence wrong"
+
+let test_parse_parenthesized_cond_vs_expr () =
+  (* "(a) < b" must parse as a comparison, "(a < b) && c-like" as a cond *)
+  let ast = parse_ok (minimal_events "if ((x) < 3) { flush(page) }") in
+  (match (List.hd ast.Ast.events).Ast.body with
+  | [ Ast.If (Ast.Cmp (Ast.Lt, Ast.Var "x", Ast.Int_lit 3), _, _); _ ] -> ()
+  | _ -> Alcotest.fail "paren comparison wrong");
+  let ast = parse_ok (minimal_events "if ((x < 3) && empty(_free_queue)) { flush(page) }") in
+  match (List.hd ast.Ast.events).Ast.body with
+  | [ Ast.If (Ast.And (Ast.Cmp (Ast.Lt, _, _), Ast.Empty _), _, _); _ ] -> ()
+  | _ -> Alcotest.fail "paren cond wrong"
+
+let test_parse_errors_have_location () =
+  match Parser.parse_string "event PageFault() { if }" with
+  | Error e ->
+      Alcotest.(check bool) "mentions line" true
+        (String.length e >= 4 && String.sub e 0 4 = "line")
+  | Ok _ -> Alcotest.fail "accepted bad program"
+
+let test_parse_rejects_page_arith () =
+  match Parser.parse_string (minimal_events "page = 3") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted page = 3"
+
+(* ------------------------------------------------------------------ *)
+(* Codegen                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compile_ok src =
+  match Translate.translate src with Ok out -> out | Error e -> Alcotest.fail e
+
+let ops_with_extras extras =
+  let ops = Operand.create () in
+  let _ =
+    Operand.install_std ops ~name:"t" ~free_target:4 ~inactive_target:8 ~reserved_target:2
+  in
+  List.iter (fun (ix, v) -> Operand.set ops ix v) extras;
+  ops
+
+let test_codegen_figure4_validates () =
+  let out = compile_ok Translate.figure4_source in
+  let ops = ops_with_extras out.Codegen.extra_operands in
+  (match Checker.validate out.Codegen.program ops with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "has all three events" true
+    (Program.events out.Codegen.program = [ 0; 1; 2 ])
+
+let test_codegen_event_numbering () =
+  let out =
+    compile_ok
+      "event Helper2() { return } event PageFault() { Helper2() Helper1() page = \
+       dequeue_head(_free_queue) return page } event ReclaimFrame() { return } event \
+       Helper1() { return }"
+  in
+  let num name = List.assoc name out.Codegen.event_numbers in
+  Alcotest.(check int) "PageFault" 0 (num "PageFault");
+  Alcotest.(check int) "ReclaimFrame" 1 (num "ReclaimFrame");
+  Alcotest.(check int) "Helper2 first user" 2 (num "Helper2");
+  Alcotest.(check int) "Helper1 next" 3 (num "Helper1")
+
+let test_codegen_rejects_unknown_names () =
+  (match Translate.translate (minimal_events "x = nonexistent + 1") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted unknown variable");
+  (match Translate.translate (minimal_events "page = dequeue_head(not_a_queue)") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted unknown queue");
+  match Translate.translate (minimal_events "_free_count = 3") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted write to read-only count"
+
+let test_codegen_rejects_missing_mandatory_event () =
+  match Translate.translate "event PageFault() { return page }" with
+  | Error e -> Alcotest.(check bool) "mentions ReclaimFrame" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "accepted missing ReclaimFrame"
+
+let test_codegen_var_slots () =
+  let out =
+    match
+      Translate.translate
+        ("var a = 5\nvar b = -3\n" ^ minimal_events "a = a + b")
+    with
+    | Ok out -> out
+    | Error e -> Alcotest.fail e
+  in
+  (* vars occupy the first user slots with their initializers *)
+  let a = List.assoc Std.first_user out.Codegen.extra_operands in
+  let b = List.assoc (Std.first_user + 1) out.Codegen.extra_operands in
+  (match (a, b) with
+  | Operand.Int ra, Operand.Int rb ->
+      Alcotest.(check int) "a init" 5 !ra;
+      Alcotest.(check int) "b init" (-3) !rb
+  | _ -> Alcotest.fail "vars are not ints")
+
+(* ------------------------------------------------------------------ *)
+(* Translated programs behave like the hand-coded library policies     *)
+(* ------------------------------------------------------------------ *)
+
+let make_sys ?(frames = 512) () =
+  let config = { Kernel.default_config with total_frames = frames; hipec_kernel = true } in
+  let k = Kernel.create ~config () in
+  (k, Api.init k)
+
+let run_workload policy_spec ~npages ~loops =
+  let k, sys = make_sys () in
+  let task = Kernel.create_task k () in
+  match Api.vm_allocate_hipec sys task ~npages policy_spec with
+  | Error e -> Alcotest.fail e
+  | Ok (region, container) ->
+      let faults0 = Task.faults task in
+      for _ = 1 to loops do
+        Kernel.touch_region k task region ~write:false
+      done;
+      Kernel.drain_io k;
+      (Task.faults task - faults0, container, k)
+
+let test_translated_figure4_matches_handcoded () =
+  let min_frames = 32 in
+  let translated =
+    match Translate.to_spec Translate.figure4_source ~min_frames with
+    | Ok spec -> spec
+    | Error e -> Alcotest.fail e
+  in
+  let handcoded =
+    Api.default_spec ~policy:(Policies.fifo_second_chance ()) ~min_frames
+  in
+  let f1, _, k1 = run_workload translated ~npages:100 ~loops:3 in
+  let f2, _, k2 = run_workload handcoded ~npages:100 ~loops:3 in
+  Alcotest.(check int) "identical fault counts" f2 f1;
+  Alcotest.(check bool) "frames conserved (translated)" true
+    (Frame.Table.check_conservation (Kernel.frame_table k1));
+  Alcotest.(check bool) "frames conserved (handcoded)" true
+    (Frame.Table.check_conservation (Kernel.frame_table k2))
+
+let test_translated_mru_policy () =
+  let src =
+    {|
+event PageFault() {
+  if (empty(_free_queue)) {
+    mru(_active_queue)
+  }
+  page = dequeue_head(_free_queue)
+  return page
+}
+event ReclaimFrame() { return }
+|}
+  in
+  let spec =
+    match Translate.to_spec src ~min_frames:50 with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let faults, _, _ = run_workload spec ~npages:100 ~loops:4 in
+  (* MRU keeps a stable prefix: ~ N + (loops-1)*(N-M+1) *)
+  let expected = 100 + (3 * 51) in
+  Alcotest.(check bool)
+    (Printf.sprintf "MRU faults %d ~ %d" faults expected)
+    true
+    (abs (faults - expected) * 20 <= expected)
+
+let test_translated_arithmetic_policy () =
+  (* exercise expression compilation inside a live policy: grow the
+     request size each time the free queue runs dry *)
+  let src =
+    {|
+var chunk = 4
+event PageFault() {
+  if (empty(_free_queue)) {
+    if (!request(8)) {
+      fifo(_active_queue)
+    }
+    chunk = chunk * 2 + 1
+  }
+  page = dequeue_head(_free_queue)
+  return page
+}
+event ReclaimFrame() { return }
+|}
+  in
+  let spec =
+    match Translate.to_spec src ~min_frames:8 with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let faults, container, _ = run_workload spec ~npages:60 ~loops:1 in
+  Alcotest.(check int) "all pages faulted once" 60 faults;
+  Alcotest.(check bool) "requests grew the allocation" true
+    (Container.frames_held container > 8)
+
+let test_listing_renders () =
+  let out = compile_ok Translate.figure4_source in
+  let text = Translate.listing out in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions PageFault" true (contains text "PageFault")
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_optimizer_threads_jump_chains () =
+  (* Jump 1 -> Jump 2 -> Return collapses to a direct path *)
+  let code =
+    [| Instr.Jump 1; Instr.Jump 2; Instr.Return Std.null |]
+  in
+  let optimized = Optimizer.optimize_code code in
+  Alcotest.(check int) "only the return survives" 1 (Array.length optimized);
+  Alcotest.(check bool) "it is the return" true (optimized.(0) = Instr.Return Std.null)
+
+let test_optimizer_drops_jump_to_next () =
+  let code = [| Instr.Jump 1; Instr.Return Std.null |] in
+  let optimized = Optimizer.optimize_code code in
+  Alcotest.(check int) "jump dropped" 1 (Array.length optimized)
+
+let test_optimizer_keeps_else_branch () =
+  (* the else-Jump after a test targets the next instruction; removing it
+     would break skip-next semantics, so it must stay *)
+  let code =
+    [|
+      Instr.Emptyq Std.free_queue;
+      Instr.Jump 2;
+      Instr.Return Std.null;
+    |]
+  in
+  let optimized = Optimizer.optimize_code code in
+  Alcotest.(check int) "unchanged" 3 (Array.length optimized);
+  Alcotest.(check bool) "else jump kept" true (optimized.(1) = Instr.Jump 2)
+
+let test_optimizer_removes_dead_code () =
+  let code =
+    [|
+      Instr.Return Std.null;
+      Instr.Arith (Std.scratch0, Std.null, Opcode.Arith_op.Inc);
+      Instr.Return Std.null;
+    |]
+  in
+  let optimized = Optimizer.optimize_code code in
+  Alcotest.(check int) "dead tail removed" 1 (Array.length optimized)
+
+let test_optimizer_cycle_safe () =
+  (* a self-loop threads to itself and must not hang the optimizer *)
+  let code = [| Instr.Jump 0; Instr.Return Std.null |] in
+  let optimized = Optimizer.optimize_code code in
+  Alcotest.(check bool) "loop survives" true
+    (Array.exists (function Instr.Jump _ -> true | _ -> false) optimized)
+
+let test_optimizer_preserves_validation_and_behaviour () =
+  (* translate with and without optimization: both validate, both fault
+     identically, the optimized one is no longer *)
+  let spec_of optimize =
+    match Translate.translate ~optimize Translate.figure4_source with
+    | Ok out -> out
+    | Error e -> Alcotest.fail e
+  in
+  let plain = spec_of false and optimized = spec_of true in
+  let before, after =
+    Optimizer.savings ~before:plain.Codegen.program ~after:optimized.Codegen.program
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "no longer than the original (%d -> %d)" before after)
+    true (after <= before);
+  let ops_of out = ops_with_extras out.Codegen.extra_operands in
+  (match Checker.validate optimized.Codegen.program (ops_of optimized) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("optimized program rejected: " ^ e));
+  let run out =
+    let spec =
+      {
+        (Api.default_spec ~policy:out.Codegen.program ~min_frames:32) with
+        Api.extra_operands = out.Codegen.extra_operands;
+      }
+    in
+    let faults, _, _ = run_workload spec ~npages:100 ~loops:3 in
+    faults
+  in
+  Alcotest.(check int) "identical fault behaviour" (run plain) (run optimized)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_optimizer_preserves_fault_counts =
+  (* random generated policies: optimized and unoptimized translations
+     fault identically on a fixed workload *)
+  let stmt_gen =
+    QCheck.Gen.oneofl
+      [
+        "x = x + 1";
+        "if (x > 3) { x = 0 } else { x = x + 2 }";
+        "while (x > 0) { x = x - 1 }";
+        "if (referenced(page) && !modified(page)) { reset_reference(page) }";
+        "if (empty(_inactive_queue) || x == 2) { x = 5 }";
+      ]
+  in
+  let gen = QCheck.Gen.(map (String.concat " ") (list_size (1 -- 4) stmt_gen)) in
+  QCheck.Test.make ~name:"optimizer preserves behaviour" ~count:15 (QCheck.make gen)
+    (fun body ->
+      let src =
+        (* the dequeue comes first so page-inspecting fragments always
+           see a loaded page register *)
+        Printf.sprintf
+          "var x = 1\nevent PageFault() { if (empty(_free_queue)) { \
+           fifo(_active_queue) } page = dequeue_head(_free_queue) %s return page } event \
+           ReclaimFrame() { return }"
+          body
+      in
+      let run optimize =
+        match Translate.translate ~optimize src with
+        | Error _ -> -1
+        | Ok out ->
+            let spec =
+              {
+                (Api.default_spec ~policy:out.Codegen.program ~min_frames:16) with
+                Api.extra_operands = out.Codegen.extra_operands;
+              }
+            in
+            let faults, _, _ = run_workload spec ~npages:40 ~loops:2 in
+            faults
+      in
+      let a = run false and b = run true in
+      a >= 0 && a = b)
+
+let prop_translated_always_validates =
+  (* random small policies from a generator of valid ASTs: whatever the
+     translator accepts, the security checker accepts too *)
+  let template body =
+    Printf.sprintf
+      "event PageFault() { %s if (empty(_free_queue)) { fifo(_active_queue) } page = \
+       dequeue_head(_free_queue) return page } event ReclaimFrame() { return }"
+      body
+  in
+  let stmt_gen =
+    QCheck.Gen.oneofl
+      [
+        "x = x + 1";
+        "if (x > 3) { x = 0 }";
+        "while (x > 0) { x = x - 1 }";
+        "if (referenced(page) && !modified(page)) { reset_reference(page) }";
+        "request(4)";
+        "x = x * 2 % 7";
+        "if (_free_count < free_target || empty(_active_queue)) { x = x + 2 }";
+      ]
+  in
+  let gen = QCheck.Gen.(map (String.concat " ") (list_size (1 -- 5) stmt_gen)) in
+  QCheck.Test.make ~name:"translated policies validate" ~count:100 (QCheck.make gen)
+    (fun body ->
+      match Translate.translate ("var x = 1\n" ^ template body) with
+      | Error _ -> false
+      | Ok out ->
+          let ops = ops_with_extras out.Codegen.extra_operands in
+          Checker.validate out.Codegen.program ops = Ok ())
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "pseudoc"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+          Alcotest.test_case "line numbers" `Quick test_lexer_line_numbers;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "figure 4" `Quick test_parse_figure4;
+          Alcotest.test_case "if/else nesting" `Quick test_parse_if_else_nesting;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "paren cond vs expr" `Quick test_parse_parenthesized_cond_vs_expr;
+          Alcotest.test_case "error location" `Quick test_parse_errors_have_location;
+          Alcotest.test_case "rejects page arith" `Quick test_parse_rejects_page_arith;
+        ] );
+      ( "codegen",
+        [
+          Alcotest.test_case "figure 4 validates" `Quick test_codegen_figure4_validates;
+          Alcotest.test_case "event numbering" `Quick test_codegen_event_numbering;
+          Alcotest.test_case "rejects unknown names" `Quick test_codegen_rejects_unknown_names;
+          Alcotest.test_case "rejects missing mandatory" `Quick
+            test_codegen_rejects_missing_mandatory_event;
+          Alcotest.test_case "var slots" `Quick test_codegen_var_slots;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "threads jump chains" `Quick test_optimizer_threads_jump_chains;
+          Alcotest.test_case "drops jump to next" `Quick test_optimizer_drops_jump_to_next;
+          Alcotest.test_case "keeps else branch" `Quick test_optimizer_keeps_else_branch;
+          Alcotest.test_case "removes dead code" `Quick test_optimizer_removes_dead_code;
+          Alcotest.test_case "cycle safe" `Quick test_optimizer_cycle_safe;
+          Alcotest.test_case "preserves behaviour" `Quick
+            test_optimizer_preserves_validation_and_behaviour;
+        ] );
+      ( "end_to_end",
+        [
+          Alcotest.test_case "figure 4 matches handcoded" `Quick
+            test_translated_figure4_matches_handcoded;
+          Alcotest.test_case "mru policy" `Quick test_translated_mru_policy;
+          Alcotest.test_case "arithmetic policy" `Quick test_translated_arithmetic_policy;
+          Alcotest.test_case "listing renders" `Quick test_listing_renders;
+        ] );
+      ( "properties",
+        qc [ prop_translated_always_validates; prop_optimizer_preserves_fault_counts ] );
+    ]
