@@ -1,10 +1,17 @@
-.PHONY: all test bench examples clean quick-bench
+.PHONY: all test bench examples clean quick-bench chaos ci
 
 all:
 	dune build @all
 
 test:
 	dune runtest
+
+chaos:
+	dune exec bench/main.exe -- chaos --smoke
+
+# What CI runs: full build, the whole test suite, and the chaos
+# scenario's acceptance checks at smoke scale.
+ci: all test chaos
 
 bench:
 	dune exec bench/main.exe

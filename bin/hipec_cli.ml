@@ -367,6 +367,57 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Replay a synthetic access trace under a HiPEC policy.")
     Term.(const run $ pattern $ npages $ frames $ policy_file $ count)
 
+(* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ] ~doc:"Seconds-scale variant for CI.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Deterministic seed.")
+  in
+  let rate =
+    Arg.(value & opt (some float) None
+        & info [ "transient-rate" ] ~docv:"P"
+            ~doc:"Per-request transient disk-error probability (default 0.01).")
+  in
+  let run smoke seed rate =
+    (match rate with
+    | Some p when p < 0. || p >= 1. ->
+        prerr_endline "hipec chaos: --transient-rate must lie in [0, 1)";
+        exit 124
+    | _ -> ());
+    let base = if smoke then Chaos.smoke else Chaos.t3 in
+    let config =
+      {
+        base with
+        Chaos.seed;
+        transient_rate = Option.value rate ~default:base.Chaos.transient_rate;
+      }
+    in
+    let clean = Chaos.run ~faults:false config in
+    let faulty = Chaos.run config in
+    Format.printf "%a@." Chaos.pp_result faulty;
+    Printf.printf "throughput degradation vs clean disk: %+.2f%%\n\n"
+      (Chaos.degradation_percent ~clean ~faulty);
+    print_endline faulty.Chaos.kstat;
+    if
+      faulty.Chaos.task_kills = 0 && faulty.Chaos.demotions >= 1
+      && faulty.Chaos.audit_violations = 0
+    then 0
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the T3-style workload under disk fault injection: transient errors are \
+          retried, bad swap blocks remapped, and a runaway policy demoted to the \
+          default pageout policy.  Exits nonzero if any task dies or the kernel \
+          auditor finds an invariant violation.")
+    Term.(const run $ smoke $ seed $ rate)
+
 let () =
   (* HIPEC_LOG=debug|info|warning|error turns on kernel/manager/checker
      logging through the Logs reporter *)
@@ -388,5 +439,5 @@ let () =
        (Cmd.group ~default info
           [
             translate_cmd; check_cmd; assemble_cmd; disassemble_cmd; advise_cmd; join_cmd;
-            aim_cmd; table3_cmd; table4_cmd; trace_cmd;
+            aim_cmd; table3_cmd; table4_cmd; trace_cmd; chaos_cmd;
           ]))

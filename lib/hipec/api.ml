@@ -57,6 +57,7 @@ let install_command_buffer t task container =
   Hashtbl.replace t.buffers (Container.id container) region
 
 let command_buffer_region t container = Hashtbl.find_opt t.buffers (Container.id container)
+let demotion_reason _t container = Container.degraded_reason container
 
 let build_operands spec =
   let ops = Operand.create () in
@@ -96,18 +97,26 @@ let install_hook t container =
     match Frame_manager.page_fault manager container ~fault_va with
     | Ok page -> Kernel.Grant_page page
     | Error reason ->
-        (* A policy stuck over its step budget is killed by the security
-           checker, not by the fault path: block until the checker's
-           next sweep fires. *)
+        (* A policy stuck over its step budget is demoted by the
+           security checker, not by the fault path: block until the
+           checker's next sweep retires it.  Either way the region falls
+           back to the default pageout policy and the kernel resolves
+           this fault there — the task survives. *)
         if Container.execution_started container <> None then begin
           let engine = Kernel.engine t.kernel in
           let rec wait () =
-            if Task.alive task && Engine.has_events engine then
-              if Engine.step_any engine then wait ()
+            if
+              Task.alive task
+              && (not (Container.degraded container))
+              && Engine.has_events engine
+            then if Engine.step_any engine then wait ()
           in
           wait ()
         end;
-        Kernel.Deny reason
+        if not (Container.degraded container) then
+          Frame_manager.demote manager container ~reason:("HiPEC policy error: " ^ reason);
+        Kernel.Fallback
+          (Option.value (Container.degraded_reason container) ~default:reason)
   in
   let on_resolved ~task:_ ~page =
     Engine.advance (Kernel.engine t.kernel)

@@ -67,3 +67,10 @@ val migrate_frames : t -> src:Container.t -> dst:Container.t -> n:int -> int
 
 val command_buffer_region : t -> Container.t -> Vm_map.region option
 (** The wired read-only region holding the container's policy buffer. *)
+
+val demotion_reason : t -> Container.t -> string option
+(** Why (and whether) the container's policy was retired and its region
+    handed back to the default pageout policy — [None] while the policy
+    is still in control.  Mirrors {!Container.degraded_reason}; exposed
+    here so applications can poll their region's fate after a fallback
+    (paper's kernel would post a notification port message). *)

@@ -289,7 +289,7 @@ let scan_now t =
   t.scans <- t.scans + 1;
   let engine = Kernel.engine t.kernel in
   let now = Engine.now engine in
-  let killed = ref 0 in
+  let demoted = ref 0 in
   let victims =
     List.filter
       (fun c ->
@@ -301,17 +301,15 @@ let scan_now t =
   in
   List.iter
     (fun c ->
-      Log.warn (fun m -> m "policy execution timeout: killing %a" Container.pp c);
+      Log.warn (fun m -> m "policy execution timeout: demoting %a" Container.pp c);
       Container.set_timed_out c;
       Container.set_execution_started c None;
-      incr killed;
+      incr demoted;
       t.timeouts_detected <- t.timeouts_detected + 1;
-      let task = Container.task c in
-      Kernel.terminate_task t.kernel task
-        ~reason:"HiPEC policy execution timeout (killed by security checker)";
-      Frame_manager.remove_container t.manager c ~flush_dirty:false)
+      Frame_manager.demote t.manager c
+        ~reason:"HiPEC policy execution timeout (demoted by security checker)")
     victims;
-  !killed
+  !demoted
 
 (* The paper's WakeUp equation: halve on timeout, double otherwise,
    clamped to [250 ms, 8 s]. *)
@@ -324,8 +322,8 @@ let rec arm t =
     t.pending <-
       Some
         (Engine.schedule (Kernel.engine t.kernel) ~daemon:true ~after:t.wakeup (fun _ ->
-             let killed = scan_now t in
-             adapt t ~found_timeout:(killed > 0);
+             let demoted = scan_now t in
+             adapt t ~found_timeout:(demoted > 0);
              arm t))
 
 let start t =

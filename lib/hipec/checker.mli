@@ -10,11 +10,14 @@
       by its else-branch [Jump] (the skip-next discipline of Table 2).
 
     - {b Timeout detection}: a kernel thread that wakes periodically,
-      scans every container's execution timestamp, and terminates
+      scans every container's execution timestamp, and demotes
       applications whose policy has been executing longer than the
-      [TimeOut] period.  Its sleep interval adapts — halved when a
-      timeout is found, doubled otherwise — clamped to [250 ms, 8 s]
-      (the paper's WakeUp equation). *)
+      [TimeOut] period — the runaway policy is retired and its region
+      falls back to the kernel's default pageout policy
+      ({!Frame_manager.demote}); the application itself keeps running.
+      The sleep interval adapts — halved when a timeout is found,
+      doubled otherwise — clamped to [250 ms, 8 s] (the paper's WakeUp
+      equation). *)
 
 open Hipec_sim
 
@@ -72,7 +75,7 @@ val stop : t -> unit
 
 val scan_now : t -> int
 (** One synchronous sweep (also what the periodic wakeup runs); returns
-    the number of policies killed. *)
+    the number of policies demoted. *)
 
 val wakeup_interval : t -> Sim_time.t
 (** Current adaptive sleep interval. *)

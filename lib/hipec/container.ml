@@ -1,6 +1,8 @@
 open Hipec_sim
 open Hipec_vm
 
+type state = Active | Degraded of { reason : string; at : Sim_time.t }
+
 type t = {
   id : int;
   task : Task.t;
@@ -13,6 +15,7 @@ type t = {
   mutable frames_held : int;
   mutable execution_started : Sim_time.t option;
   mutable timed_out : bool;
+  mutable state : state;
   mutable events_run : int;
   mutable commands_interpreted : int;
 }
@@ -33,6 +36,7 @@ let create ~task ~obj ~region ~program ~operands ~queues ~min_frames () =
     frames_held = 0;
     execution_started = None;
     timed_out = false;
+    state = Active;
     events_run = 0;
     commands_interpreted = 0;
   }
@@ -59,12 +63,23 @@ let execution_started t = t.execution_started
 let set_execution_started t v = t.execution_started <- v
 let timed_out t = t.timed_out
 let set_timed_out t = t.timed_out <- true
+let state t = t.state
+let degraded t = match t.state with Degraded _ -> true | Active -> false
+
+let degraded_reason t =
+  match t.state with Degraded { reason; _ } -> Some reason | Active -> None
+
+let set_degraded t ~reason ~at =
+  match t.state with
+  | Degraded _ -> ()  (* first demotion wins *)
+  | Active -> t.state <- Degraded { reason; at }
 let events_run t = t.events_run
 let count_event_run t = t.events_run <- t.events_run + 1
 let commands_interpreted t = t.commands_interpreted
 let count_commands t n = t.commands_interpreted <- t.commands_interpreted + n
 
 let pp fmt t =
-  Format.fprintf fmt "container#%d(task=%s,frames=%d,min=%d%s)" t.id (Task.name t.task)
+  Format.fprintf fmt "container#%d(task=%s,frames=%d,min=%d%s%s)" t.id (Task.name t.task)
     t.frames_held t.min_frames
     (if t.timed_out then ",TIMED-OUT" else "")
+    (match t.state with Degraded _ -> ",DEGRADED" | Active -> "")

@@ -53,6 +53,21 @@ val set_execution_started : t -> Sim_time.t option -> unit
 val timed_out : t -> bool
 val set_timed_out : t -> unit
 
+(** {1 Degradation (policy fallback)} *)
+
+type state =
+  | Active  (** the policy handles this region's faults *)
+  | Degraded of { reason : string; at : Sim_time.t }
+      (** the policy erred or ran away: the region fell back to the
+          kernel's default pageout policy at [at] *)
+
+val state : t -> state
+val degraded : t -> bool
+val degraded_reason : t -> string option
+
+val set_degraded : t -> reason:string -> at:Sim_time.t -> unit
+(** Record the fallback; only the first demotion's reason is kept. *)
+
 (** {1 Accounting} *)
 
 val events_run : t -> int

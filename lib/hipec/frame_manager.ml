@@ -13,6 +13,7 @@ type stats = {
   mutable reclaim_events : int;
   mutable forced_seizures : int;
   mutable flush_writes : int;
+  mutable demotions : int;
 }
 
 type t = {
@@ -39,7 +40,8 @@ let stats t = t.stats
 (* Asynchronous writeback of a bound dirty page; the modify bit clears
    immediately (the manager owns a stable copy), so the frame is at once
    reusable and the executor never waits on the disk (paper §4.3.1,
-   I/O Handling). *)
+   I/O Handling).  Errors retry through the shared paging-I/O path; a
+   bad swap block remaps to a fresh slot. *)
 let flush_bound_page t page =
   match Vm_page.binding page with
   | None -> Error "Flush: page is not bound to an object"
@@ -58,8 +60,20 @@ let flush_bound_page t page =
             in
             Vm_page.clear_modified page;
             t.stats.flush_writes <- t.stats.flush_writes + 1;
-            Disk.submit_write (Kernel.disk t.kernel) ~block
-              ~nblocks:Vm_object.blocks_per_page (fun _ -> ())
+            let remap = function
+              | Disk.Bad_block _
+                when (match Vm_object.backing obj with
+                     | Vm_object.Zero_fill -> true
+                     | Vm_object.File _ -> false) ->
+                  let b = Kernel.alloc_disk_extent t.kernel ~npages:1 in
+                  Vm_object.remap_swap obj ~offset ~block:b;
+                  Some b
+              | _ -> None
+            in
+            Io_retry.submit_write ~policy:(Kernel.io_policy t.kernel)
+              (Kernel.io_stats t.kernel) (Kernel.disk t.kernel) ~remap ~block
+              ~nblocks:Vm_object.blocks_per_page
+              (fun _ _result -> ())
           end;
           Ok ())
 
@@ -157,30 +171,94 @@ let same_container a b = Container.id a = Container.id b
 
 let run_event_raw t container ~event = Executor.run (executor t) container ~event
 
-let rec handle_outcome t container outcome =
+(* Policy fallback (graceful degradation): strip the container of its
+   private lists and hand the region back to the kernel's default
+   pageout policy.  Resident pages migrate onto the central queues;
+   unbound slots return to the machine free pool.  The specific
+   application keeps running — only its policy dies. *)
+let demote t container ~reason =
+  if not (Container.degraded container) then begin
+    Log.warn (fun m -> m "demoting %a: %s" Container.pp container reason);
+    t.containers <- List.filter (fun c -> not (same_container container c)) t.containers;
+    let tbl = Kernel.frame_table t.kernel in
+    let daemon = Kernel.pageout t.kernel in
+    let held = Container.frames_held container in
+    let freed = ref 0 and migrated = ref 0 in
+    let release_slot page =
+      let frame = Vm_page.frame page in
+      if not (Frame.is_free frame) then begin
+        Vm_page.set_wired page false;
+        Frame.set_modified frame false;
+        Frame.Table.free tbl frame;
+        incr freed
+      end
+    in
+    let hand_to_daemon page =
+      Pageout.note_new_resident daemon page;
+      incr migrated
+    in
+    let drain q =
+      let rec loop () =
+        match Page_queue.dequeue_head q with
+        | None -> ()
+        | Some page ->
+            if Vm_page.is_bound page then hand_to_daemon page else release_slot page;
+            loop ()
+      in
+      loop ()
+    in
+    drain (Container.free_queue container);
+    drain (Container.inactive_queue container);
+    drain (Container.active_queue container);
+    (* resident pages parked off-queue (e.g. in a page register) *)
+    Vm_object.iter_resident
+      (fun ~offset:_ page ->
+        if Vm_page.on_queue page = None && not (Vm_page.wired page) then
+          hand_to_daemon page)
+      (Container.obj container);
+    (* unbound slots parked in page-register operands *)
+    let ops = Container.operands container in
+    for ix = 0 to Operand.size - 1 do
+      match Operand.get ops ix with
+      | Some (Operand.Page { contents = Some page })
+        when (not (Vm_page.is_bound page)) && Vm_page.on_queue page = None ->
+          release_slot page
+      | _ -> ()
+    done;
+    let accounted = !freed + !migrated in
+    if accounted <> held then
+      Log.warn (fun m ->
+          m "demotion of %a: %d frames accounted (%d freed + %d migrated) vs %d held"
+            Container.pp container accounted !freed !migrated held);
+    (* every container frame left specific accounting, one way or the
+       other: freed slots went back to the pool, migrated pages now
+       belong to the default pool *)
+    Container.remove_frames container held;
+    t.specific_total <- t.specific_total - held;
+    Kernel.clear_manager t.kernel (Container.obj container);
+    Container.set_execution_started container None;
+    Container.set_degraded container ~reason ~at:(Kernel.now t.kernel);
+    t.stats.demotions <- t.stats.demotions + 1
+  end
+
+let handle_outcome t container outcome =
   match outcome with
   | Executor.Returned v -> Ok v
   | Executor.Timed_out -> Error `Timed_out
   | Executor.Runtime_error msg ->
-      (* bad policy: the kernel terminates the specific application *)
-      let task = Container.task container in
-      Kernel.terminate_task t.kernel task ~reason:("HiPEC policy error: " ^ msg);
-      remove_task_containers t task;
-      Error (`Killed msg)
+      (* bad policy: the region falls back to the default pageout
+         policy; the specific application keeps running *)
+      demote t container ~reason:("HiPEC policy error: " ^ msg);
+      Error (`Demoted msg)
 
-and remove_task_containers t task =
-  let mine, _ =
-    List.partition (fun c -> Task.id (Container.task c) = Task.id task) t.containers
-  in
-  List.iter (fun c -> remove_container t c ~flush_dirty:false) mine
-
-and remove_container t container ~flush_dirty =
+let remove_container t container ~flush_dirty =
   if List.exists (same_container container) t.containers then begin
     t.containers <- List.filter (fun c -> not (same_container container c)) t.containers;
     let rec drain () = if seize_one t container ~flush_dirty then drain () in
     drain ();
     Kernel.clear_manager t.kernel (Container.obj container)
   end
+
 
 (* Normal reclamation: FAFR walk, only containers above their minimum,
    driving each victim's ReclaimFrame event (paper: the specific
@@ -212,7 +290,7 @@ let reclaim_from_specific t ~need ~exclude =
           | Error _ -> ());
           t.stats.reclaim_events <- t.stats.reclaim_events + 1;
           (match handle_outcome t c (run_event_raw t c ~event:Events.reclaim_frame) with
-          | Ok _ | Error (`Timed_out | `Killed _) -> ());
+          | Ok _ | Error (`Timed_out | `Demoted _) -> ());
           walk rest
         end
   in
@@ -421,6 +499,7 @@ let create ~kernel ?(burst_fraction = 0.5) ?max_steps () =
           reclaim_events = 0;
           forced_seizures = 0;
           flush_writes = 0;
+          demotions = 0;
         };
     }
   in

@@ -41,19 +41,30 @@ val remove_container : t -> Container.t -> flush_dirty:bool -> unit
     [flush_dirty] the resident dirty pages are written back first
     (voluntary deallocation); without, they are dropped (task killed). *)
 
+val demote : t -> Container.t -> reason:string -> unit
+(** Policy fallback: retire the container's policy and hand the region
+    back to the kernel's default pageout policy, without killing the
+    task.  Resident pages migrate onto the central active queue (the
+    default daemon ages them from there); unbound slots — queued or
+    parked in page-register operands — return to the machine free pool.
+    The container is un-admitted, its fault hook cleared, and its state
+    set to {!Container.state.Degraded} with [reason].  Idempotent: a
+    second demotion is a no-op (first reason wins). *)
+
 val find_container_by_task : t -> Task.t -> Container.t list
 
 (** {1 Executor entry points} *)
 
 val run_event : t -> Container.t -> event:int -> Executor.outcome
 (** Run a policy event with the manager's services wired in.  A
-    [Runtime_error] outcome terminates the owning task (and removes its
-    containers); [Timed_out] leaves the container stamped for the
-    security checker. *)
+    [Runtime_error] outcome demotes the container (graceful fallback to
+    the default policy — the task survives); [Timed_out] leaves the
+    container stamped for the security checker. *)
 
 val page_fault : t -> Container.t -> fault_va:int -> (Vm_page.t, string) result
 (** Drive the container's [PageFault] event and extract the granted
-    free slot; errors mean the task must die. *)
+    free slot; errors mean the region must fall back to the default
+    policy (the caller demotes, the kernel retries the fault there). *)
 
 (** {1 Manager operations (also exposed to policies as services)} *)
 
@@ -89,6 +100,7 @@ type stats = {
   mutable reclaim_events : int;
   mutable forced_seizures : int;
   mutable flush_writes : int;
+  mutable demotions : int;
 }
 
 val stats : t -> stats

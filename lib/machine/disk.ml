@@ -23,11 +23,56 @@ let default_params =
     transfer_per_block = Sim_time.of_us_f 32.6;
   }
 
+type io_error =
+  | Transient of { write : bool; block : int }
+  | Bad_block of { block : int }
+  | Out_of_range of { block : int; nblocks : int }
+
+let io_error_to_string = function
+  | Transient { write; block } ->
+      Printf.sprintf "transient %s error at block %d"
+        (if write then "write" else "read")
+        block
+  | Bad_block { block } -> Printf.sprintf "permanently bad block %d" block
+  | Out_of_range { block; nblocks } ->
+      Printf.sprintf "extent [%d..%d) outside the device" block (block + nblocks)
+
+let pp_io_error fmt e = Format.pp_print_string fmt (io_error_to_string e)
+
+module Faults = struct
+  type config = {
+    seed : int;
+    transient_read_rate : float;
+    transient_write_rate : float;
+    latency_spike_rate : float;
+    latency_spike : Sim_time.t;
+    bad_blocks : int list;
+  }
+
+  let none =
+    {
+      seed = 0;
+      transient_read_rate = 0.;
+      transient_write_rate = 0.;
+      latency_spike_rate = 0.;
+      latency_spike = Sim_time.zero;
+      bad_blocks = [];
+    }
+
+  let validate c =
+    let rate_ok r = r >= 0. && r < 1. in
+    if
+      not
+        (rate_ok c.transient_read_rate && rate_ok c.transient_write_rate
+        && rate_ok c.latency_spike_rate)
+    then invalid_arg "Disk.Faults: rates must lie in [0, 1)"
+end
+
 type request = {
   block : int;
   nblocks : int;
   is_write : bool;
-  on_complete : Engine.t -> unit;
+  on_complete : Engine.t -> (unit, io_error) result -> unit;
 }
 
 type t = {
@@ -41,34 +86,64 @@ type t = {
   mutable writes : int;
   mutable sync_transfers : int;
   mutable busy_time : Sim_time.t;
+  (* fault injection: a separate RNG so enabling faults never perturbs
+     the rotational-latency draws of the base model *)
+  mutable faults : Faults.config;
+  mutable fault_rng : Rng.t;
+  bad : (int, unit) Hashtbl.t;
+  mutable faults_injected : int;
+  mutable bad_block_hits : int;
+  mutable latency_spikes : int;
 }
 
-let create ?(params = default_params) ~engine ~rng () =
+let set_faults t config =
+  Faults.validate config;
+  t.faults <- config;
+  t.fault_rng <- Rng.create ~seed:config.Faults.seed;
+  Hashtbl.reset t.bad;
+  List.iter (fun b -> Hashtbl.replace t.bad b ()) config.Faults.bad_blocks
+
+let create ?(params = default_params) ?(faults = Faults.none) ~engine ~rng () =
   if params.cylinders <= 0 || params.blocks_per_cylinder <= 0 then
     invalid_arg "Disk.create: bad geometry";
-  {
-    params;
-    engine;
-    rng;
-    head_cylinder = 0;
-    busy = false;
-    queue = [];
-    reads = 0;
-    writes = 0;
-    sync_transfers = 0;
-    busy_time = Sim_time.zero;
-  }
+  let t =
+    {
+      params;
+      engine;
+      rng;
+      head_cylinder = 0;
+      busy = false;
+      queue = [];
+      reads = 0;
+      writes = 0;
+      sync_transfers = 0;
+      busy_time = Sim_time.zero;
+      faults = Faults.none;
+      fault_rng = Rng.create ~seed:0;
+      bad = Hashtbl.create 16;
+      faults_injected = 0;
+      bad_block_hits = 0;
+      latency_spikes = 0;
+    }
+  in
+  set_faults t faults;
+  t
 
 let capacity_blocks t = t.params.cylinders * t.params.blocks_per_cylinder
+
+let extent_error t ~block ~nblocks =
+  if nblocks <= 0 || block < 0 || block + nblocks > capacity_blocks t then
+    Some (Out_of_range { block; nblocks })
+  else None
 
 let check_extent t ~block ~nblocks =
   if nblocks <= 0 then invalid_arg "Disk: nblocks <= 0";
   if block < 0 || block + nblocks > capacity_blocks t then
     invalid_arg "Disk: extent out of range"
 
-(* Seek + rotate + transfer for one request; moves the head. *)
-let service_time t ~block ~nblocks =
-  check_extent t ~block ~nblocks;
+(* Seek + rotate + transfer for one request; moves the head.  The extent
+   must already be known in range. *)
+let service_time_unchecked t ~block ~nblocks =
   t.sync_transfers <- t.sync_transfers + 1;
   let p = t.params in
   let cyl = block / p.blocks_per_cylinder in
@@ -82,29 +157,89 @@ let service_time t ~block ~nblocks =
   let transfer = Sim_time.mul p.transfer_per_block nblocks in
   Sim_time.add p.controller_overhead (Sim_time.add seek (Sim_time.add rotation transfer))
 
+let service_time t ~block ~nblocks =
+  check_extent t ~block ~nblocks;
+  service_time_unchecked t ~block ~nblocks
+
+(* One fault-model roll for a transfer over [block, block+nblocks).
+   Permanently bad blocks always fail; otherwise a transient error fires
+   with the configured per-request probability. *)
+let fault_outcome t ~is_write ~block ~nblocks =
+  let rec first_bad b =
+    if b >= block + nblocks then None
+    else if Hashtbl.mem t.bad b then Some b
+    else first_bad (b + 1)
+  in
+  if Hashtbl.length t.bad > 0 && first_bad block <> None then begin
+    t.bad_block_hits <- t.bad_block_hits + 1;
+    Error (Bad_block { block = Option.get (first_bad block) })
+  end
+  else begin
+    let rate =
+      if is_write then t.faults.Faults.transient_write_rate
+      else t.faults.Faults.transient_read_rate
+    in
+    if rate > 0. && Rng.float t.fault_rng 1.0 < rate then begin
+      t.faults_injected <- t.faults_injected + 1;
+      Error (Transient { write = is_write; block })
+    end
+    else Ok ()
+  end
+
+let spike_delay t =
+  let f = t.faults in
+  if f.Faults.latency_spike_rate > 0. && Rng.float t.fault_rng 1.0 < f.Faults.latency_spike_rate
+  then begin
+    t.latency_spikes <- t.latency_spikes + 1;
+    f.Faults.latency_spike
+  end
+  else Sim_time.zero
+
 let rec start t req =
   t.busy <- true;
-  let d = service_time t ~block:req.block ~nblocks:req.nblocks in
-  t.busy_time <- Sim_time.add t.busy_time d;
-  ignore
-    (Engine.schedule t.engine ~after:d (fun engine ->
-         if req.is_write then t.writes <- t.writes + 1 else t.reads <- t.reads + 1;
-         req.on_complete engine;
-         match List.rev t.queue with
-         | [] -> t.busy <- false
-         | next :: rest ->
-             t.queue <- List.rev rest;
-             start t next))
+  let finish d result =
+    t.busy_time <- Sim_time.add t.busy_time d;
+    ignore
+      (Engine.schedule t.engine ~after:d (fun engine ->
+           (match result with
+           | Ok () ->
+               if req.is_write then t.writes <- t.writes + 1
+               else t.reads <- t.reads + 1
+           | Error _ -> ());
+           req.on_complete engine result;
+           match List.rev t.queue with
+           | [] -> t.busy <- false
+           | next :: rest ->
+               t.queue <- List.rev rest;
+               start t next))
+  in
+  match extent_error t ~block:req.block ~nblocks:req.nblocks with
+  | Some err ->
+      (* the controller rejects the request without moving the head;
+         the error is delivered like any other completion *)
+      finish t.params.controller_overhead (Error err)
+  | None ->
+      let d = service_time_unchecked t ~block:req.block ~nblocks:req.nblocks in
+      let d = Sim_time.add d (spike_delay t) in
+      finish d (fault_outcome t ~is_write:req.is_write ~block:req.block ~nblocks:req.nblocks)
 
-let submit t req =
-  check_extent t ~block:req.block ~nblocks:req.nblocks;
-  if t.busy then t.queue <- req :: t.queue else start t req
+let submit t req = if t.busy then t.queue <- req :: t.queue else start t req
 
 let submit_read t ~block ~nblocks on_complete =
   submit t { block; nblocks; is_write = false; on_complete }
 
 let submit_write t ~block ~nblocks on_complete =
   submit t { block; nblocks; is_write = true; on_complete }
+
+(* The fault path's synchronous transfers: the caller charges the
+   returned duration and inspects the outcome. *)
+let sync_transfer t ~is_write ~block ~nblocks =
+  match extent_error t ~block ~nblocks with
+  | Some err -> (t.params.controller_overhead, Error err)
+  | None ->
+      let d = service_time_unchecked t ~block ~nblocks in
+      let d = Sim_time.add d (spike_delay t) in
+      (d, fault_outcome t ~is_write ~block ~nblocks)
 
 let sequential_transfer_time t ~nblocks =
   if nblocks <= 0 then invalid_arg "Disk: nblocks <= 0";
@@ -115,3 +250,6 @@ let synchronous_transfers t = t.sync_transfers
 let writes_completed t = t.writes
 let busy_time t = t.busy_time
 let queue_depth t = List.length t.queue + if t.busy then 1 else 0
+let faults_injected t = t.faults_injected
+let bad_block_hits t = t.bad_block_hits
+let latency_spikes t = t.latency_spikes

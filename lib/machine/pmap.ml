@@ -34,5 +34,6 @@ let access t ~vpn ~write =
       end
 
 let resident_count t = Hashtbl.length t.entries
+let iter t f = Hashtbl.iter (fun vpn e -> f ~vpn ~frame:e.frame ~prot:e.prot) t.entries
 let vpn_of_va va = va / Frame.page_size
 let va_of_vpn vpn = vpn * Frame.page_size

@@ -36,6 +36,9 @@ val access : t -> vpn:int -> write:bool -> access_result
 
 val resident_count : t -> int
 
+val iter : t -> (vpn:int -> frame:Frame.t -> prot:protection -> unit) -> unit
+(** Every installed translation (used by the kernel auditor). *)
+
 val vpn_of_va : int -> int
 (** Virtual page number of a byte address. *)
 

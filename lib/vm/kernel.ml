@@ -11,16 +11,19 @@ type config = {
   total_frames : int;
   costs : Costs.t;
   disk_params : Disk.params option;
+  disk_faults : Disk.Faults.config option;
   seed : int;
   hipec_kernel : bool;
   readahead : int;
+  io_retry : Io_retry.policy;
 }
 
 let default_config =
-  { total_frames = 16_384; costs = Costs.default; disk_params = None; seed = 1;
-    hipec_kernel = false; readahead = 0 }
+  { total_frames = 16_384; costs = Costs.default; disk_params = None;
+    disk_faults = None; seed = 1; hipec_kernel = false; readahead = 0;
+    io_retry = Io_retry.default_policy }
 
-type fault_grant = Grant_page of Vm_page.t | Deny of string
+type fault_grant = Grant_page of Vm_page.t | Deny of string | Fallback of string
 
 type manager = {
   on_fault : task:Task.t -> obj:Vm_object.t -> offset:int -> write:bool -> fault_grant;
@@ -60,13 +63,16 @@ type t = {
      on hits as well as faults.  The LRU/MRU complex commands read it. *)
   page_by_frame : Vm_page.t option array;
   mutable access_recorder : (Task.t -> vpn:int -> write:bool -> unit) option;
+  io_policy : Io_retry.policy;
+  io_stats : Io_retry.stats;
 }
 
 let create ?(config = default_config) () =
   let engine = Engine.create () in
   let rng = Rng.create ~seed:config.seed in
   let disk =
-    Disk.create ?params:config.disk_params ~engine ~rng:(Rng.split rng) ()
+    Disk.create ?params:config.disk_params ?faults:config.disk_faults ~engine
+      ~rng:(Rng.split rng) ()
   in
   {
     engine;
@@ -83,6 +89,8 @@ let create ?(config = default_config) () =
     next_disk_block = 0;
     page_by_frame = Array.make config.total_frames None;
     access_recorder = None;
+    io_policy = config.io_retry;
+    io_stats = Io_retry.create_stats ();
     stats =
       {
         faults = 0;
@@ -131,9 +139,14 @@ let pageout_ctx t : Pageout.ctx =
     costs = t.costs;
     resolve_object = (fun oid -> resolve_object t oid);
     alloc_swap = (fun () -> alloc_disk_extent t ~npages:1);
+    io_policy = t.io_policy;
+    io_stats = t.io_stats;
   }
 
 let stats t = t.stats
+let io_stats t = t.io_stats
+let io_policy t = t.io_policy
+let iter_objects t f = Hashtbl.iter (fun _ obj -> f obj) t.objects
 
 (* ------------------------------------------------------------------ *)
 (* Tasks                                                               *)
@@ -250,13 +263,28 @@ let kill_and_raise t task reason =
   terminate_task t task ~reason;
   raise (Task_terminated (task, reason))
 
+(* Synchronous pagein with the retry path: transient errors back off and
+   retry; only exhausted retries (or a bad backing block, which no retry
+   can read around) terminate the task. *)
+let pagein t task ~block =
+  match
+    Io_retry.sync_read ~policy:t.io_policy t.io_stats
+      ~charge:(fun d -> charge t d)
+      t.disk ~block ~nblocks:Vm_object.blocks_per_page
+  with
+  | Ok () -> ()
+  | Error err ->
+      let reason = "unrecoverable paging I/O error: " ^ Disk.io_error_to_string err in
+      terminate_task t task ~reason;
+      raise (Task_terminated (task, reason))
+
 (* Bind [slot] to the faulted offset, fill it (pagein or zero-fill) and
    install the translation. *)
 let install_page t task region ~obj ~offset ~vpn slot =
   Vm_object.connect obj slot ~offset;
   (if Vm_object.has_backing_data obj ~offset then begin
      let block = Option.get (Vm_object.disk_block obj ~offset) in
-     charge t (Disk.service_time t.disk ~block ~nblocks:Vm_object.blocks_per_page);
+     pagein t task ~block;
      Task.count_pagein task;
      t.stats.pagein_faults <- t.stats.pagein_faults + 1
    end
@@ -267,7 +295,7 @@ let install_page t task region ~obj ~offset ~vpn slot =
          charge t t.costs.Costs.page_copy;
          t.stats.cow_copies <- t.stats.cow_copies + 1
      | `Block block ->
-         charge t (Disk.service_time t.disk ~block ~nblocks:Vm_object.blocks_per_page);
+         pagein t task ~block;
          Task.count_pagein task;
          t.stats.pagein_faults <- t.stats.pagein_faults + 1;
          t.stats.cow_copies <- t.stats.cow_copies + 1
@@ -359,25 +387,34 @@ let fault t task region ~vpn ~write =
       if write then Frame.set_modified (Vm_page.frame page) true
   | None -> (
       charge t t.costs.Costs.fault_service;
+      let default_path () =
+        let frame = default_pool_frame t task in
+        let slot = Vm_page.create ~frame in
+        let page = install_page t task region ~obj ~offset ~vpn slot in
+        Frame.set_referenced (Vm_page.frame page) true;
+        if write then Frame.set_modified (Vm_page.frame page) true;
+        Pageout.note_new_resident t.pageout page;
+        if t.readahead > 0 && Vm_object.has_backing_data obj ~offset then
+          prefetch t obj ~offset
+      in
       match Hashtbl.find_opt t.managers (Vm_object.id obj) with
       | Some manager -> (
           t.stats.hipec_faults <- t.stats.hipec_faults + 1;
           match manager.on_fault ~task ~obj ~offset ~write with
           | Deny reason -> kill_and_raise t task reason
+          | Fallback reason ->
+              (* the manager demoted itself: this fault (and, once the
+                 hook is cleared, every later one) resolves through the
+                 default pool instead of killing the task *)
+              Log.warn (fun m ->
+                  m "manager fallback for %s: %s" (Vm_object.name obj) reason);
+              default_path ()
           | Grant_page slot ->
               let page = install_page t task region ~obj ~offset ~vpn slot in
               Frame.set_referenced (Vm_page.frame page) true;
               if write then Frame.set_modified (Vm_page.frame page) true;
               manager.on_resolved ~task ~page)
-      | None ->
-          let frame = default_pool_frame t task in
-          let slot = Vm_page.create ~frame in
-          let page = install_page t task region ~obj ~offset ~vpn slot in
-          Frame.set_referenced (Vm_page.frame page) true;
-          if write then Frame.set_modified (Vm_page.frame page) true;
-          Pageout.note_new_resident t.pageout page;
-          if t.readahead > 0 && Vm_object.has_backing_data obj ~offset then
-            prefetch t obj ~offset)
+      | None -> default_path ())
 
 (* A write hit a write-protected translation in a writable region: the
    page belongs to an object with live lazy copies.  Push a copy down to

@@ -18,6 +18,9 @@ type config = {
   total_frames : int;  (** physical memory size in 4 KB frames *)
   costs : Costs.t;
   disk_params : Disk.params option;  (** [None] = default geometry *)
+  disk_faults : Disk.Faults.config option;
+      (** fault-injection model for the paging device ([None] = no
+          faults); see {!Disk.Faults} *)
   seed : int;  (** all stochastic behaviour derives from this *)
   hipec_kernel : bool;  (** modified kernel: region check on every fault *)
   readahead : int;
@@ -26,11 +29,13 @@ type config = {
           queue — a wrong guess is the first thing evicted.  HiPEC
           regions are never prefetched into: frame placement there
           belongs to the application's policy. *)
+  io_retry : Io_retry.policy;
+      (** retry/backoff parameters for every paging I/O path *)
 }
 
 val default_config : config
-(** 64 MB (16384 frames), default costs and disk, seed 1, HiPEC off,
-    no readahead. *)
+(** 64 MB (16384 frames), default costs and disk, no faults, seed 1,
+    HiPEC off, no readahead, default retry policy. *)
 
 type t
 
@@ -118,6 +123,11 @@ type fault_grant =
   | Grant_page of Vm_page.t
       (** an unbound page slot whose frame will receive the data *)
   | Deny of string  (** terminate the faulting task *)
+  | Fallback of string
+      (** the manager has demoted itself (policy error or timeout): the
+          kernel resolves this fault through the default pool and the
+          task lives on.  The manager is expected to have migrated its
+          frames back and cleared its hook before returning this. *)
 
 type manager = {
   on_fault : task:Task.t -> obj:Vm_object.t -> offset:int -> write:bool -> fault_grant;
@@ -136,6 +146,9 @@ val register_object : t -> Vm_object.t -> unit
 
 val resolve_object : t -> int -> Vm_object.t
 (** Registry lookup; raises [Not_found]. *)
+
+val iter_objects : t -> (Vm_object.t -> unit) -> unit
+(** Every registered VM object (used by the kernel auditor). *)
 
 (** {1 Mechanism micro-operations (Table 4)} *)
 
@@ -157,3 +170,10 @@ type stats = {
 }
 
 val stats : t -> stats
+
+val io_stats : t -> Io_retry.stats
+(** Paging-I/O error/retry/giveup counters, shared across the kernel's
+    synchronous pageins, the pageout daemon's laundry and the HiPEC
+    frame manager's flushes. *)
+
+val io_policy : t -> Io_retry.policy

@@ -28,6 +28,13 @@ let pp fmt k =
     (Disk.reads_completed disk) (Disk.writes_completed disk)
     (Disk.synchronous_transfers disk)
     (Sim_time.to_sec_f (Disk.busy_time disk));
+  let io = Kernel.io_stats k in
+  line "paging I/O" "%d errors, %d retries, %d giveups, %d swap remaps"
+    io.Io_retry.io_errors io.Io_retry.io_retries io.Io_retry.io_giveups
+    io.Io_retry.swap_remaps;
+  line "fault injection" "%d transients, %d bad-block hits, %d latency spikes"
+    (Disk.faults_injected disk) (Disk.bad_block_hits disk)
+    (Disk.latency_spikes disk);
   Format.fprintf fmt "@]"
 
 let to_string k = Format.asprintf "%a" pp k

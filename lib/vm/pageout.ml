@@ -8,6 +8,8 @@ type ctx = {
   costs : Costs.t;
   resolve_object : int -> Vm_object.t;
   alloc_swap : unit -> int;
+  io_policy : Io_retry.policy;
+  io_stats : Io_retry.stats;
 }
 
 type t = {
@@ -63,7 +65,11 @@ let object_of ctx page =
   | None -> invalid_arg "Pageout: unbound page on a daemon queue"
 
 (* Write a dirty page's frame to backing store asynchronously; the frame
-   reaches the free pool when the transfer completes (the "laundry"). *)
+   reaches the free pool when the transfer completes (the "laundry").
+   Transient errors retry with backoff; a bad swap block is remapped to
+   a fresh slot.  When every retry is exhausted the frame is freed
+   anyway — the data is lost, which is what EIO on pageout amounts to —
+   so memory is never leaked to a broken device. *)
 let launder t ctx page =
   let obj = object_of ctx page in
   let offset = match Vm_page.binding page with Some (_, o) -> o | None -> assert false in
@@ -79,7 +85,17 @@ let launder t ctx page =
   Vm_object.disconnect obj page;
   t.laundry <- t.laundry + 1;
   t.pageout_writes <- t.pageout_writes + 1;
-  Disk.submit_write ctx.disk ~block ~nblocks:Vm_object.blocks_per_page (fun _engine ->
+  let remap = function
+    | Disk.Bad_block _ when (match Vm_object.backing obj with
+                            | Vm_object.Zero_fill -> true
+                            | Vm_object.File _ -> false) ->
+        let b = ctx.alloc_swap () in
+        Vm_object.remap_swap obj ~offset ~block:b;
+        Some b
+    | _ -> None
+  in
+  Io_retry.submit_write ~policy:ctx.io_policy ctx.io_stats ctx.disk ~remap ~block
+    ~nblocks:Vm_object.blocks_per_page (fun _engine _result ->
       Frame.set_modified frame false;
       Frame.Table.free ctx.frame_table frame;
       t.laundry <- t.laundry - 1)
@@ -158,3 +174,4 @@ let reclaim_one t ctx =
 let evictions t = t.evictions
 let reactivations t = t.reactivations
 let pageout_writes t = t.pageout_writes
+let queues t = [ t.active; t.inactive ]

@@ -26,6 +26,8 @@ type ctx = {
   costs : Costs.t;
   resolve_object : int -> Vm_object.t;  (** registry lookup by object id *)
   alloc_swap : unit -> int;  (** swap slot (base block) for a dirty anonymous page *)
+  io_policy : Io_retry.policy;  (** retry/backoff parameters for laundering *)
+  io_stats : Io_retry.stats;  (** shared paging-I/O error counters *)
 }
 
 val create : total_frames:int -> t
@@ -71,3 +73,7 @@ val reclaim_one : t -> ctx -> bool
 val evictions : t -> int
 val reactivations : t -> int
 val pageout_writes : t -> int
+
+val queues : t -> Page_queue.t list
+(** The daemon's own queues ([active; inactive]) — registered with the
+    kernel auditor so their membership invariants are swept too. *)

@@ -70,6 +70,14 @@ let assign_swap t ~offset ~block =
       | Some _ -> ()
       | None -> Hashtbl.replace t.swap_slots offset block)
 
+let remap_swap t ~offset ~block =
+  match t.backing with
+  | File _ -> invalid_arg "Vm_object.remap_swap: file-backed object"
+  | Zero_fill ->
+      if not (Hashtbl.mem t.swap_slots offset) then
+        invalid_arg "Vm_object.remap_swap: no swap slot assigned"
+      else Hashtbl.replace t.swap_slots offset block
+
 let has_backing_data t ~offset =
   match t.backing with File _ -> true | Zero_fill -> Hashtbl.mem t.swap_slots offset
 

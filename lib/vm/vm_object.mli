@@ -52,6 +52,12 @@ val assign_swap : t -> offset:int -> block:int -> unit
     zero-fill page being written out.  Idempotent per offset only with
     the same block. *)
 
+val remap_swap : t -> offset:int -> block:int -> unit
+(** Move an already-assigned swap slot to a different block — the
+    pageout path's answer to a permanently bad swap block.  Raises
+    [Invalid_argument] on a file-backed object or an offset with no
+    slot assigned. *)
+
 val has_backing_data : t -> offset:int -> bool
 (** True when a fault on [offset] must read from disk rather than
     zero-fill. *)

@@ -96,3 +96,16 @@ A small join reproduces the MRU-vs-LRU gap deterministically:
     faults              16384 (analytic LRU 16384, MRU 9216)
     pageins             16384
     output tuples     1048576
+
+The chaos scenario survives fault injection: no task is killed, the
+runaway policy is demoted to the default pageout path, every transient
+error is retried, and the kernel auditor finds nothing:
+
+  $ hipec chaos --smoke | head -7
+  elapsed          11.110s
+  task kills       0
+  demotions        1 (HiPEC policy execution timeout (demoted by security checker))
+  paging I/O       29 errors, 29 retries, 0 giveups, 2 swap remaps
+  fault injection  27 transients, 2 bad-block hits, 11 latency spikes
+  auditor          109 sweeps, 0 violations
+  throughput degradation vs clean disk: +1.78%

@@ -1,0 +1,323 @@
+(* Tests for the robustness layer: the paging-I/O retry helper, the
+   kernel auditor, and the chaos scenario that ties fault injection,
+   retry, policy demotion and auditing together. *)
+
+open Hipec_vm
+open Hipec_core
+open Hipec_workloads
+module Disk = Hipec_machine.Disk
+module Frame = Hipec_machine.Frame
+module T = Hipec_sim.Sim_time
+module Engine = Hipec_sim.Engine
+module Rng = Hipec_sim.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Io_retry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let make_disk ?(faults = Disk.Faults.none) () =
+  let engine = Engine.create () in
+  let disk = Disk.create ~faults ~engine ~rng:(Rng.create ~seed:7) () in
+  (engine, disk)
+
+let faults_cfg ?(seed = 11) ?(read_rate = 0.) ?(write_rate = 0.) ?(bad = []) () =
+  {
+    Disk.Faults.seed;
+    transient_read_rate = read_rate;
+    transient_write_rate = write_rate;
+    latency_spike_rate = 0.;
+    latency_spike = T.zero;
+    bad_blocks = bad;
+  }
+
+let test_backoff_schedule () =
+  let p = Io_retry.default_policy in
+  let at n = T.to_ns (Io_retry.backoff p ~attempt:n) in
+  Alcotest.(check int) "attempt 1 = base" (T.to_ns (T.ms 1)) (at 1);
+  Alcotest.(check int) "attempt 2 doubles" (T.to_ns (T.ms 2)) (at 2);
+  Alcotest.(check int) "attempt 3 doubles again" (T.to_ns (T.ms 4)) (at 3);
+  Alcotest.(check int) "attempt 6 still exponential" (T.to_ns (T.ms 32)) (at 6);
+  Alcotest.(check int) "attempt 7 capped" (T.to_ns (T.ms 50)) (at 7);
+  Alcotest.(check int) "far attempts stay capped" (T.to_ns (T.ms 50)) (at 12)
+
+(* A storm of transient write errors: every submission completes exactly
+   once, every error is accounted as either a retry or a give-up, and
+   the disk's success counter agrees with the retry layer's view. *)
+let test_transient_write_storm () =
+  let engine, disk = make_disk ~faults:(faults_cfg ~write_rate:0.3 ()) () in
+  let stats = Io_retry.create_stats () in
+  let n = 60 in
+  let ok = ref 0 and failed = ref 0 in
+  for i = 0 to n - 1 do
+    Io_retry.submit_write stats disk
+      ~remap:(fun _ -> None)
+      ~block:(i * 64) ~nblocks:8
+      (fun _ -> function Ok () -> incr ok | Error _ -> incr failed)
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "every write completed once" n (!ok + !failed);
+  Alcotest.(check bool) "some transient errors injected" true (stats.Io_retry.io_errors > 0);
+  Alcotest.(check bool) "some retries issued" true (stats.Io_retry.io_retries > 0);
+  Alcotest.(check int) "errors = retries + giveups" stats.Io_retry.io_errors
+    (stats.Io_retry.io_retries + stats.Io_retry.io_giveups);
+  Alcotest.(check int) "give-ups are the failures" stats.Io_retry.io_giveups !failed;
+  Alcotest.(check int) "disk counts only successes" !ok (Disk.writes_completed disk);
+  Alcotest.(check int) "no remaps without bad blocks" 0 stats.Io_retry.swap_remaps
+
+let test_bad_block_write_remaps () =
+  let engine, disk = make_disk ~faults:(faults_cfg ~bad:[ 42 ] ()) () in
+  let stats = Io_retry.create_stats () in
+  let outcome = ref None in
+  Io_retry.submit_write stats disk
+    ~remap:(function Disk.Bad_block _ -> Some 4_096 | _ -> None)
+    ~block:40 ~nblocks:8
+    (fun _ r -> outcome := Some r);
+  Engine.run engine;
+  Alcotest.(check bool) "write succeeded on the remapped block" true
+    (!outcome = Some (Ok ()));
+  Alcotest.(check int) "one swap remap" 1 stats.Io_retry.swap_remaps;
+  Alcotest.(check int) "one error, one retry" 2
+    (stats.Io_retry.io_errors + stats.Io_retry.io_retries);
+  Alcotest.(check int) "no give-up" 0 stats.Io_retry.io_giveups;
+  Alcotest.(check int) "bad block hit once" 1 (Disk.bad_block_hits disk);
+  Alcotest.(check int) "one successful write" 1 (Disk.writes_completed disk)
+
+let test_bad_block_write_without_remap_gives_up () =
+  let engine, disk = make_disk ~faults:(faults_cfg ~bad:[ 42 ] ()) () in
+  let stats = Io_retry.create_stats () in
+  let outcome = ref None in
+  Io_retry.submit_write stats disk
+    ~remap:(fun _ -> None)
+    ~block:40 ~nblocks:8
+    (fun _ r -> outcome := Some r);
+  Engine.run engine;
+  (match !outcome with
+  | Some (Error (Disk.Bad_block { block = 42 })) -> ()
+  | _ -> Alcotest.fail "expected Bad_block 42");
+  Alcotest.(check int) "one give-up" 1 stats.Io_retry.io_giveups;
+  Alcotest.(check int) "no retries" 0 stats.Io_retry.io_retries;
+  Alcotest.(check int) "nothing written" 0 (Disk.writes_completed disk)
+
+let test_sync_read_transient_retries () =
+  let _, disk = make_disk ~faults:(faults_cfg ~seed:5 ~read_rate:0.3 ()) () in
+  let stats = Io_retry.create_stats () in
+  let charged = ref T.zero in
+  let charge d = charged := T.add !charged d in
+  let ok = ref 0 and failed = ref 0 in
+  for i = 0 to 39 do
+    match Io_retry.sync_read stats ~charge disk ~block:(i * 64) ~nblocks:8 with
+    | Ok () -> incr ok
+    | Error _ -> incr failed
+  done;
+  Alcotest.(check int) "every read resolved" 40 (!ok + !failed);
+  Alcotest.(check bool) "transients retried" true (stats.Io_retry.io_retries > 0);
+  Alcotest.(check int) "errors = retries + giveups" stats.Io_retry.io_errors
+    (stats.Io_retry.io_retries + stats.Io_retry.io_giveups);
+  Alcotest.(check int) "give-ups are the failures" stats.Io_retry.io_giveups !failed;
+  Alcotest.(check bool) "service time and backoff charged" true (T.to_ns !charged > 0)
+
+let test_sync_read_bad_block_gives_up_immediately () =
+  let _, disk = make_disk ~faults:(faults_cfg ~bad:[ 42 ] ()) () in
+  let stats = Io_retry.create_stats () in
+  let charged = ref T.zero in
+  (match
+     Io_retry.sync_read stats
+       ~charge:(fun d -> charged := T.add !charged d)
+       disk ~block:40 ~nblocks:8
+   with
+  | Error (Disk.Bad_block { block = 42 }) -> ()
+  | _ -> Alcotest.fail "expected Bad_block 42");
+  Alcotest.(check int) "no retries on a bad backing block" 0 stats.Io_retry.io_retries;
+  Alcotest.(check int) "one give-up" 1 stats.Io_retry.io_giveups;
+  Alcotest.(check bool) "one attempt still charged" true (T.to_ns !charged > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Audit                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_audit_clean_kernel () =
+  let k = Kernel.create ~config:{ Kernel.default_config with total_frames = 64 } () in
+  let task = Kernel.create_task k () in
+  let region = Kernel.vm_allocate k task ~npages:32 in
+  Kernel.touch_region k task region ~write:true;
+  Kernel.drain_io k;
+  let auditor = Audit.create ~raise_on_violation:false k in
+  Alcotest.(check (list string)) "no violations" []
+    (List.map (fun v -> v.Audit.check) (Audit.sweep auditor));
+  Alcotest.(check int) "one sweep recorded" 1 (Audit.sweeps auditor);
+  Alcotest.(check int) "no violations recorded" 0 (Audit.violations_found auditor)
+
+(* Plant a deliberately corrupt structure: a registered queue holding a
+   page whose frame has been returned to the free pool. *)
+let test_audit_detects_free_frame_on_queue () =
+  let k = Kernel.create ~config:{ Kernel.default_config with total_frames = 64 } () in
+  let auditor = Audit.create ~raise_on_violation:false k in
+  let tbl = Kernel.frame_table k in
+  let frame = List.hd (Frame.Table.alloc_many tbl 1) in
+  let page = Vm_page.create ~frame in
+  let rogue = Page_queue.create "rogue" in
+  Page_queue.enqueue_tail rogue page;
+  Frame.Table.free tbl frame;
+  Audit.register_queue auditor rogue;
+  let violations = Audit.sweep auditor in
+  Alcotest.(check bool) "free-frame-on-queue flagged" true
+    (List.exists (fun v -> v.Audit.check = "free-frame-on-queue") violations);
+  Alcotest.(check bool) "violations recorded" true (Audit.violations_found auditor > 0);
+  (* with [raise_on_violation] the same sweep raises *)
+  let strict = Audit.create k in
+  Audit.register_queue strict rogue;
+  (match Audit.sweep strict with
+  | exception Audit.Violation (_ :: _) -> ()
+  | _ -> Alcotest.fail "strict auditor should raise");
+  (* clean up so the queue cannot leak into later checks *)
+  Audit.unregister_queue auditor rogue
+
+(* ------------------------------------------------------------------ *)
+(* Chaos scenario                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A sub-second variant of the smoke config for unit tests. *)
+let tiny =
+  {
+    Chaos.pages = 192;
+    runaway_pages = 16;
+    writer_pages = 320;
+    total_frames = 256;
+    seed = 1;
+    transient_rate = 0.02;
+    latency_spike_rate = 0.01;
+    bad_swap_blocks = 2;
+    audit_period = T.ms 50;
+  }
+
+let test_chaos_tiny_healthy () =
+  let clean = Chaos.run ~faults:false tiny in
+  let faulty = Chaos.run tiny in
+  Alcotest.(check int) "clean: no injected faults" 0 clean.Chaos.faults_injected;
+  Alcotest.(check int) "clean: no I/O errors" 0 clean.Chaos.io_errors;
+  Alcotest.(check int) "no task killed" 0 faulty.Chaos.task_kills;
+  Alcotest.(check bool) "runaway policy demoted" true (faulty.Chaos.demotions >= 1);
+  Alcotest.(check bool) "demotion reason recorded" true
+    (faulty.Chaos.demotion_reason <> None);
+  Alcotest.(check int) "auditor saw nothing" 0 faulty.Chaos.audit_violations;
+  Alcotest.(check bool) "auditor actually swept" true (faulty.Chaos.audit_sweeps > 0);
+  Alcotest.(check bool) "faults injected" true (faulty.Chaos.faults_injected > 0);
+  Alcotest.(check bool) "errors retried" true
+    (faulty.Chaos.io_errors > 0 && faulty.Chaos.io_retries > 0);
+  Alcotest.(check int) "every error recovered" 0 faulty.Chaos.io_giveups;
+  Alcotest.(check bool) "bad swap blocks remapped" true (faulty.Chaos.swap_remaps > 0);
+  Alcotest.(check bool) "faults cost time" true
+    (Chaos.degradation_percent ~clean ~faulty >= 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* ISSUE satellite: the same seed must produce a bit-identical Kstat
+   report (and elapsed time) under fault injection. *)
+let prop_chaos_deterministic =
+  QCheck.Test.make ~name:"same seed, bit-identical Kstat under faults" ~count:3
+    QCheck.(int_range 1 4)
+    (fun seed ->
+      let config = { tiny with Chaos.seed } in
+      let a = Chaos.run config and b = Chaos.run config in
+      a.Chaos.kstat = b.Chaos.kstat
+      && a.Chaos.elapsed = b.Chaos.elapsed
+      && a.Chaos.io_errors = b.Chaos.io_errors
+      && a.Chaos.faults_injected = b.Chaos.faults_injected)
+
+(* ISSUE satellite: frame conservation (and the auditor's full invariant
+   sweep) must survive any interleaving of touches, migrations and
+   demotions while the disk throws transient faults. *)
+let prop_conservation_under_demote_migrate_faults =
+  QCheck.Test.make ~name:"frames conserved under random demote/migrate/faults"
+    ~count:25
+    QCheck.(list_of_size Gen.(1 -- 30) (pair (int_bound 5) (int_bound 31)))
+    (fun ops ->
+      let config =
+        {
+          Kernel.default_config with
+          total_frames = 128;
+          hipec_kernel = true;
+          seed = 3;
+          disk_faults =
+            Some (faults_cfg ~seed:9 ~read_rate:0.05 ~write_rate:0.05 ());
+        }
+      in
+      let k = Kernel.create ~config () in
+      let sys = Api.init k in
+      let alloc name policy =
+        let task = Kernel.create_task k ~name () in
+        match
+          Api.vm_allocate_hipec sys task ~npages:32
+            (Api.default_spec ~policy ~min_frames:24)
+        with
+        | Ok (region, container) -> (task, region, container)
+        | Error e -> QCheck.Test.fail_report ("vm_allocate_hipec: " ^ e)
+      in
+      let ta, ra, ca = alloc "a" (Policies.fifo ()) in
+      let tb, rb, cb = alloc "b" (Policies.fifo_second_chance ()) in
+      let manager = Api.manager sys in
+      let touch task region page =
+        try
+          Kernel.access_vpn k task
+            ~vpn:(region.Vm_map.start_vpn + page)
+            ~write:(page mod 2 = 0)
+        with Kernel.Task_terminated _ -> ()
+      in
+      List.iter
+        (fun (op, page) ->
+          match op with
+          | 0 -> touch ta ra page
+          | 1 -> touch tb rb page
+          | 2 ->
+              if not (Container.degraded ca || Container.degraded cb) then
+                ignore (Api.migrate_frames sys ~src:ca ~dst:cb ~n:2)
+          | 3 ->
+              if not (Container.degraded ca || Container.degraded cb) then
+                ignore (Api.migrate_frames sys ~src:cb ~dst:ca ~n:2)
+          | 4 -> Frame_manager.demote manager ca ~reason:"chaos property"
+          | _ -> Frame_manager.demote manager cb ~reason:"chaos property")
+        ops;
+      Kernel.drain_io k;
+      let auditor = Audit.create ~raise_on_violation:false k in
+      List.iter
+        (fun c ->
+          Audit.register_queue auditor (Container.free_queue c);
+          Audit.register_queue auditor (Container.active_queue c);
+          Audit.register_queue auditor (Container.inactive_queue c))
+        [ ca; cb ];
+      Frame.Table.check_conservation (Kernel.frame_table k)
+      && Audit.sweep auditor = [])
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "chaos"
+    [
+      ( "io_retry",
+        [
+          Alcotest.test_case "backoff schedule" `Quick test_backoff_schedule;
+          Alcotest.test_case "transient write storm" `Quick test_transient_write_storm;
+          Alcotest.test_case "bad block write remaps" `Quick test_bad_block_write_remaps;
+          Alcotest.test_case "bad block without remap gives up" `Quick
+            test_bad_block_write_without_remap_gives_up;
+          Alcotest.test_case "sync read retries transients" `Quick
+            test_sync_read_transient_retries;
+          Alcotest.test_case "sync read gives up on bad block" `Quick
+            test_sync_read_bad_block_gives_up_immediately;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "clean kernel" `Quick test_audit_clean_kernel;
+          Alcotest.test_case "detects planted corruption" `Quick
+            test_audit_detects_free_frame_on_queue;
+        ] );
+      ( "scenario",
+        [ Alcotest.test_case "tiny chaos run healthy" `Quick test_chaos_tiny_healthy ] );
+      ( "properties",
+        qc
+          [
+            prop_chaos_deterministic;
+            prop_conservation_under_demote_migrate_faults;
+          ] );
+    ]

@@ -124,7 +124,9 @@ let make_disk ?params () =
 let test_disk_read_completes () =
   let engine, disk = make_disk () in
   let done_at = ref T.zero in
-  Disk.submit_read disk ~block:1000 ~nblocks:8 (fun e -> done_at := Engine.now e);
+  Disk.submit_read disk ~block:1000 ~nblocks:8 (fun e r ->
+      Alcotest.(check bool) "clean read succeeds" true (Result.is_ok r);
+      done_at := Engine.now e);
   Engine.run engine;
   Alcotest.(check bool) "took positive time" true T.(!done_at > T.zero);
   Alcotest.(check int) "one read" 1 (Disk.reads_completed disk);
@@ -133,9 +135,9 @@ let test_disk_read_completes () =
 let test_disk_fifo_order () =
   let engine, disk = make_disk () in
   let order = ref [] in
-  Disk.submit_read disk ~block:0 ~nblocks:1 (fun _ -> order := 1 :: !order);
-  Disk.submit_read disk ~block:100_000 ~nblocks:1 (fun _ -> order := 2 :: !order);
-  Disk.submit_write disk ~block:5_000 ~nblocks:1 (fun _ -> order := 3 :: !order);
+  Disk.submit_read disk ~block:0 ~nblocks:1 (fun _ _ -> order := 1 :: !order);
+  Disk.submit_read disk ~block:100_000 ~nblocks:1 (fun _ _ -> order := 2 :: !order);
+  Disk.submit_write disk ~block:5_000 ~nblocks:1 (fun _ _ -> order := 3 :: !order);
   Engine.run engine;
   Alcotest.(check (list int)) "completion order" [ 1; 2; 3 ] (List.rev !order);
   Alcotest.(check int) "queue drained" 0 (Disk.queue_depth disk)
@@ -182,13 +184,97 @@ let test_disk_extent_checks () =
 
 let test_disk_busy_time_accumulates () =
   let engine, disk = make_disk () in
-  Disk.submit_read disk ~block:0 ~nblocks:8 (fun _ -> ());
-  Disk.submit_read disk ~block:999 ~nblocks:8 (fun _ -> ());
+  Disk.submit_read disk ~block:0 ~nblocks:8 (fun _ _ -> ());
+  Disk.submit_read disk ~block:999 ~nblocks:8 (fun _ _ -> ());
   Engine.run engine;
   Alcotest.(check bool) "busy time positive" true T.(Disk.busy_time disk > T.zero);
   (* the engine clock must have reached at least the total busy time *)
   Alcotest.(check bool) "clock >= busy" true
     T.(Engine.now engine >= Disk.busy_time disk)
+
+(* ------------------------------------------------------------------ *)
+(* Disk fault injection                                                *)
+(* ------------------------------------------------------------------ *)
+
+let faults_cfg ?(seed = 42) ?(read = 0.) ?(write = 0.) ?(spike = 0.) ?(bad = []) () =
+  {
+    Disk.Faults.seed;
+    transient_read_rate = read;
+    transient_write_rate = write;
+    latency_spike_rate = spike;
+    latency_spike = T.ms 20;
+    bad_blocks = bad;
+  }
+
+let test_disk_out_of_range_is_error_not_raise () =
+  let engine, disk = make_disk () in
+  let got = ref None in
+  Disk.submit_read disk ~block:(Disk.capacity_blocks disk) ~nblocks:8 (fun _ r ->
+      got := Some r);
+  Engine.run engine;
+  (match !got with
+  | Some (Error (Disk.Out_of_range _)) -> ()
+  | Some (Ok ()) -> Alcotest.fail "out-of-range read reported success"
+  | Some (Error e) -> Alcotest.fail ("wrong error: " ^ Disk.io_error_to_string e)
+  | None -> Alcotest.fail "completion never delivered");
+  Alcotest.(check int) "not counted as a completed read" 0 (Disk.reads_completed disk);
+  let _, sync = Disk.sync_transfer disk ~is_write:false ~block:(-1) ~nblocks:1 in
+  match sync with
+  | Error (Disk.Out_of_range _) -> ()
+  | _ -> Alcotest.fail "sync out-of-range not reported"
+
+let test_disk_transient_faults_counted () =
+  let engine, disk = make_disk () in
+  Disk.set_faults disk (faults_cfg ~read:0.2 ());
+  let errors = ref 0 and oks = ref 0 in
+  for i = 0 to 199 do
+    Disk.submit_read disk ~block:(i * 8) ~nblocks:8 (fun _ r ->
+        match r with Ok () -> incr oks | Error _ -> incr errors)
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all delivered" 200 (!oks + !errors);
+  Alcotest.(check int) "counter matches" !errors (Disk.faults_injected disk);
+  Alcotest.(check bool) "some faults at 20%" true (!errors > 10);
+  Alcotest.(check bool) "not all faults" true (!oks > 100)
+
+let test_disk_bad_block_hits_every_time () =
+  let engine, disk = make_disk () in
+  Disk.set_faults disk (faults_cfg ~bad:[ 804 ] ());
+  let results = ref [] in
+  for _ = 1 to 3 do
+    (* the extent 800..807 covers the bad block *)
+    Disk.submit_write disk ~block:800 ~nblocks:8 (fun _ r -> results := r :: !results)
+  done;
+  Disk.submit_read disk ~block:808 ~nblocks:8 (fun _ r -> results := r :: !results);
+  Engine.run engine;
+  let bad, ok =
+    List.partition (function Error (Disk.Bad_block _) -> true | _ -> false) !results
+  in
+  Alcotest.(check int) "every covering transfer fails" 3 (List.length bad);
+  Alcotest.(check int) "neighbour extent is clean" 1 (List.length ok);
+  Alcotest.(check int) "hits counted" 3 (Disk.bad_block_hits disk)
+
+let test_disk_faults_deterministic_and_isolated () =
+  (* same seed -> identical outcome sequence; and a zero-rate fault
+     config must be bit-identical to the fault-free disk *)
+  let outcomes cfg =
+    let engine, disk = make_disk () in
+    Option.iter (Disk.set_faults disk) cfg;
+    let rng = Rng.create ~seed:9 in
+    let log = ref [] in
+    for _ = 1 to 100 do
+      let block = Rng.int rng (Disk.capacity_blocks disk - 8) in
+      Disk.submit_read disk ~block ~nblocks:8 (fun e r ->
+          log := (T.to_ns (Engine.now e), Result.is_ok r) :: !log)
+    done;
+    Engine.run engine;
+    List.rev !log
+  in
+  let cfg = Some (faults_cfg ~read:0.1 ~spike:0.1 ()) in
+  Alcotest.(check bool) "same seed, same run" true (outcomes cfg = outcomes cfg);
+  Alcotest.(check bool)
+    "zero rates behave exactly like the fault-free model" true
+    (outcomes None = outcomes (Some (faults_cfg ())))
 
 (* ------------------------------------------------------------------ *)
 (* Costs                                                               *)
@@ -309,6 +395,14 @@ let () =
           Alcotest.test_case "sequential < random" `Quick test_disk_sequential_faster_than_random;
           Alcotest.test_case "extent checks" `Quick test_disk_extent_checks;
           Alcotest.test_case "busy time" `Quick test_disk_busy_time_accumulates;
+          Alcotest.test_case "out-of-range is a typed error" `Quick
+            test_disk_out_of_range_is_error_not_raise;
+          Alcotest.test_case "transient faults counted" `Quick
+            test_disk_transient_faults_counted;
+          Alcotest.test_case "bad blocks persistent" `Quick
+            test_disk_bad_block_hits_every_time;
+          Alcotest.test_case "fault model deterministic+isolated" `Quick
+            test_disk_faults_deterministic_and_isolated;
         ] );
       ( "costs",
         [
