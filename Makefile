@@ -1,4 +1,4 @@
-.PHONY: all test bench examples clean quick-bench chaos ci
+.PHONY: all test bench examples clean quick-bench chaos oracle golden ci
 
 all:
 	dune build @all
@@ -9,9 +9,18 @@ test:
 chaos:
 	dune exec bench/main.exe -- chaos --smoke
 
-# What CI runs: full build, the whole test suite, and the chaos
-# scenario's acceptance checks at smoke scale.
-ci: all test chaos
+# the differential suite: executor vs the pure policy oracles
+oracle:
+	dune exec test/test_oracle.exe
+
+# fixed-seed scenarios must reproduce the digests in test/golden/
+golden:
+	dune exec test/test_golden.exe
+
+# What CI runs: full build, the whole test suite (which includes the
+# oracle and golden suites), and the chaos acceptance checks at smoke
+# scale.
+ci: all test oracle golden chaos
 
 bench:
 	dune exec bench/main.exe

@@ -6,6 +6,7 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe table3     -- one artifact
      dune exec bench/main.exe -- --quick -- reduced scale
+     dune exec bench/main.exe -- --trace -- collect + summarize the event stream
 
    Simulated-time results reproduce the paper's numbers; Bechamel
    results measure this implementation itself. *)
@@ -505,8 +506,10 @@ let all_benches =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args || List.mem "--smoke" args in
+  let trace = List.mem "--trace" args in
   let selected =
-    List.filter (fun a -> a <> "--quick" && a <> "--smoke" && a <> "--") args
+    List.filter (fun a -> a <> "--quick" && a <> "--smoke" && a <> "--trace" && a <> "--")
+      args
   in
   let to_run =
     match selected with
@@ -522,4 +525,14 @@ let () =
                 exit 2)
           names
   in
-  List.iter (fun (_, f) -> f ~quick ()) to_run
+  (* --trace: collect the structured event stream across every selected
+     bench and report the per-category totals and stream digest at the
+     end — the cheap way to see what a figure actually exercised. *)
+  let collector = if trace then Some (Hipec_trace.Trace.start ()) else None in
+  List.iter (fun (_, f) -> f ~quick ()) to_run;
+  match collector with
+  | None -> ()
+  | Some c ->
+      ignore (Hipec_trace.Trace.stop ());
+      header "Trace collector summary (--trace)";
+      Format.printf "%a@." Hipec_trace.Trace.pp_summary c

@@ -5,7 +5,7 @@
      hipec run-join ...          the Figure 6 join experiment
      hipec run-aim ...           the Figure 5 throughput experiment
      hipec table3 / table4      the section 5.1 measurements
-     hipec trace ...             replay a synthetic trace under a policy *)
+     hipec trace ...             record/replay/diff structured event traces *)
 
 open Cmdliner
 open Hipec_core
@@ -136,6 +136,10 @@ let advise_cmd =
   let frames = Arg.(value & opt int 64 & info [ "frames" ] ~docv:"N" ~doc:"Frame budget.") in
   let count = Arg.(value & opt int 4096 & info [ "count" ] ~docv:"N" ~doc:"Accesses.") in
   let run pattern npages frames count =
+    if npages < 1 || frames < 1 || count < 1 then begin
+      Printf.eprintf "--pages, --frames and --count must be >= 1\n";
+      exit 2
+    end;
     let rng = Hipec_sim.Rng.create ~seed:23 in
     let trace =
       match pattern with
@@ -306,7 +310,9 @@ let table4_cmd =
 (* trace                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let trace_cmd =
+module Tr = Hipec_trace.Trace
+
+let trace_run_cmd =
   let pattern =
     Arg.(value & opt string "cyclic"
         & info [ "pattern" ] ~docv:"P" ~doc:"cyclic|sequential|random|zipf.")
@@ -321,6 +327,10 @@ let trace_cmd =
   in
   let count = Arg.(value & opt int 4096 & info [ "count" ] ~docv:"N" ~doc:"Accesses.") in
   let run pattern npages frames policy_file count =
+    if npages < 1 || frames < 1 || count < 1 then begin
+      Printf.eprintf "--pages, --frames and --count must be >= 1\n";
+      exit 2
+    end;
     let rng = Hipec_sim.Rng.create ~seed:17 in
     let trace =
       match pattern with
@@ -364,8 +374,191 @@ let trace_cmd =
             0)
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Replay a synthetic access trace under a HiPEC policy.")
+    (Cmd.info "run" ~doc:"Replay a synthetic access trace under a HiPEC policy.")
     Term.(const run $ pattern $ npages $ frames $ policy_file $ count)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
+
+let load_recorded path =
+  match Tr.Recorded.load ~path with
+  | Ok r -> Some r
+  | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      None
+
+let pp_event_opt fmt = function
+  | None -> Format.pp_print_string fmt "(stream ended)"
+  | Some ev -> Hipec_trace.Event.pp fmt ev
+
+let print_divergence (d : Tr.Recorded.divergence) =
+  Format.printf "first divergence at event %d:@.  recorded  %a@.  replayed  %a@."
+    d.Tr.Recorded.seq pp_event_opt d.Tr.Recorded.left pp_event_opt d.Tr.Recorded.right
+
+let scenario_args =
+  let scenario =
+    Arg.(value & opt (some string) None
+        & info [ "scenario" ]
+            ~docv:"NAME"
+            ~doc:"Named scenario: policy|join-small|aim-small|chaos-smoke. Overrides the \
+                  pattern options.")
+  in
+  let pattern =
+    Arg.(value & opt string Trace_run.default_policy_cfg.Trace_run.pattern
+        & info [ "pattern" ] ~docv:"P"
+            ~doc:"cyclic|sequential|reverse|strided|random|zipf|phased.")
+  in
+  let npages =
+    Arg.(value & opt int Trace_run.default_policy_cfg.Trace_run.npages
+        & info [ "pages" ] ~docv:"N" ~doc:"Region pages.")
+  in
+  let frames =
+    Arg.(value & opt int Trace_run.default_policy_cfg.Trace_run.frames
+        & info [ "frames" ] ~docv:"N" ~doc:"Private frames (minFrame).")
+  in
+  let policy =
+    Arg.(value & opt string Trace_run.default_policy_cfg.Trace_run.policy
+        & info [ "policy" ] ~docv:"NAME" ~doc:"fifo|lru|mru|clock|second-chance.")
+  in
+  let count =
+    Arg.(value & opt int Trace_run.default_policy_cfg.Trace_run.count
+        & info [ "count" ] ~docv:"N" ~doc:"Accesses.")
+  in
+  let seed =
+    Arg.(value & opt int Trace_run.default_policy_cfg.Trace_run.seed
+        & info [ "seed" ] ~docv:"N" ~doc:"Deterministic seed.")
+  in
+  let build scenario pattern npages frames policy count seed =
+    match scenario with
+    | Some name -> (
+        match Trace_run.scenario_of_name name with
+        | Some s -> Ok s
+        | None ->
+            Error
+              (Printf.sprintf "unknown scenario %S (policy|%s)" name
+                 (String.concat "|" Trace_run.named_scenarios)))
+    | None ->
+        if npages < 1 || frames < 1 || count < 1 then
+          Error "--pages, --frames and --count must be >= 1"
+        else Ok (Trace_run.Policy { Trace_run.pattern; npages; frames; policy; count; seed })
+  in
+  Term.(const build $ scenario $ pattern $ npages $ frames $ policy $ count $ seed)
+
+let trace_record_cmd =
+  let output =
+    Arg.(value & opt string "hipec.trace"
+        & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Recording output path.")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+        & info [ "json" ] ~docv:"FILE" ~doc:"Also export the stream as JSON.")
+  in
+  let run scenario output json =
+    match scenario with
+    | Error e ->
+        Printf.eprintf "%s\n" e;
+        2
+    | Ok scenario -> (
+        match Trace_run.record scenario with
+        | Error e ->
+            Printf.eprintf "record failed: %s\n" e;
+            1
+        | Ok r ->
+            Tr.Recorded.save r ~path:output;
+            Option.iter (fun p -> write_file p (Tr.Recorded.to_json r)) json;
+            Printf.printf "recorded %d events, digest %s -> %s\n"
+              (Array.length r.Tr.Recorded.events)
+              (Tr.digest_hex r.Tr.Recorded.digest)
+              output;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:"Run a scenario under the trace collector and serialize the event stream.")
+    Term.(const run $ scenario_args $ output $ json)
+
+let trace_replay_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"A .trace recording.")
+  in
+  let run file =
+    match load_recorded file with
+    | None -> 1
+    | Some r -> (
+        match Trace_run.replay r with
+        | Error e ->
+            Printf.eprintf "replay failed: %s\n" e;
+            1
+        | Ok o ->
+            Printf.printf "recorded digest %s (%d events)\n"
+              (Tr.digest_hex o.Trace_run.recorded_digest)
+              (Array.length r.Tr.Recorded.events);
+            Printf.printf "replayed digest %s (%d events)\n"
+              (Tr.digest_hex o.Trace_run.replayed_digest)
+              o.Trace_run.events_replayed;
+            if Trace_run.matches o then begin
+              print_endline "replay reproduces the recording";
+              0
+            end
+            else begin
+              Option.iter print_divergence o.Trace_run.divergence;
+              1
+            end)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Re-execute a recording deterministically and diff the event digest.")
+    Term.(const run $ file)
+
+let trace_diff_cmd =
+  let file n doc = Arg.(required & pos n (some file) None & info [] ~docv:"FILE" ~doc) in
+  let run a b =
+    match (load_recorded a, load_recorded b) with
+    | Some ra, Some rb -> (
+        match Tr.Recorded.diff ra rb with
+        | None ->
+            Printf.printf "identical: %d events, digest %s\n"
+              (Array.length ra.Tr.Recorded.events)
+              (Tr.digest_hex ra.Tr.Recorded.digest);
+            0
+        | Some d ->
+            print_divergence d;
+            1)
+    | _ -> 1
+  in
+  Cmd.v
+    (Cmd.info "diff" ~doc:"Compare two recordings event for event.")
+    Term.(const run $ file 0 "Left recording." $ file 1 "Right recording.")
+
+let trace_export_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"A .trace recording.")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+        & info [ "o"; "output" ] ~docv:"FILE" ~doc:"JSON output path (default stdout).")
+  in
+  let run file output =
+    match load_recorded file with
+    | None -> 1
+    | Some r ->
+        let json = Tr.Recorded.to_json r in
+        (match output with None -> print_string json | Some p -> write_file p json);
+        0
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export a binary recording as JSON.")
+    Term.(const run $ file $ output)
+
+let trace_cmd =
+  let default = Term.(ret (const (`Help (`Pager, Some "trace")))) in
+  Cmd.group ~default
+    (Cmd.info "trace"
+       ~doc:
+         "Structured event tracing: run a synthetic trace, record a scenario's event \
+          stream, replay it deterministically, and diff recordings.")
+    [ trace_run_cmd; trace_record_cmd; trace_replay_cmd; trace_diff_cmd; trace_export_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* chaos                                                               *)

@@ -48,7 +48,13 @@ let run t container ~event =
      launder if dirty, drop translations, unbind. *)
   let make_free_slot page =
     if not (Vm_page.is_bound page) then Ok ()
-    else
+    else begin
+      (if Hipec_trace.Trace.on () then
+         match Vm_page.binding page with
+         | Some (oid, offset) ->
+             Hipec_trace.Trace.evict ~source:Hipec_trace.Event.Policy ~obj:oid
+               ~offset ~dirty:(Vm_page.dirty page)
+         | None -> ());
       Result.bind (flush page) (fun () ->
           let oid =
             match Vm_page.binding page with Some (o, _) -> o | None -> assert false
@@ -58,6 +64,7 @@ let run t container ~event =
               Vm_object.disconnect obj page;
               Ok ()
           | exception Not_found -> Error (Printf.sprintf "unknown object %d" oid))
+    end
   in
 
   let read_page ix =

@@ -4,6 +4,7 @@ open Hipec_vm
 let log = Logs.Src.create "hipec.manager" ~doc:"global frame manager"
 
 module Log = (val Logs.src_log log : Logs.LOG)
+module Tr = Hipec_trace.Trace
 
 type stats = {
   mutable requests_granted : int;
@@ -60,6 +61,7 @@ let flush_bound_page t page =
             in
             Vm_page.clear_modified page;
             t.stats.flush_writes <- t.stats.flush_writes + 1;
+            Tr.pageout ~obj:(Vm_object.id obj) ~offset ~block;
             let remap = function
               | Disk.Bad_block _
                 when (match Vm_object.backing obj with
@@ -89,6 +91,7 @@ let grant_frames t container n =
   Container.add_frames container got;
   t.specific_total <- t.specific_total + got;
   t.stats.frames_granted <- t.stats.frames_granted + got;
+  if got > 0 then Tr.grant ~container:(Container.id container) ~frames:got;
   got
 
 (* Take up to [n] unbound slots back from the container's free queue. *)
@@ -108,6 +111,7 @@ let take_free_slots t container n =
   Container.remove_frames container got;
   t.specific_total <- t.specific_total - got;
   t.stats.frames_reclaimed <- t.stats.frames_reclaimed + got;
+  if got > 0 then Tr.reclaim ~container:(Container.id container) ~frames:got ~forced:false;
   got
 
 (* Seize one frame from the container: a free slot if any, otherwise a
@@ -129,7 +133,8 @@ let seize_one t container ~flush_dirty =
     Container.remove_frames container 1;
     t.specific_total <- t.specific_total - 1;
     t.stats.frames_reclaimed <- t.stats.frames_reclaimed + 1;
-    t.stats.forced_seizures <- t.stats.forced_seizures + 1
+    t.stats.forced_seizures <- t.stats.forced_seizures + 1;
+    Tr.reclaim ~container:(Container.id container) ~frames:1 ~forced:true
   in
   match Page_queue.dequeue_head (Container.free_queue container) with
   | Some slot ->
@@ -169,7 +174,20 @@ let seize_one t container ~flush_dirty =
 
 let same_container a b = Container.id a = Container.id b
 
-let run_event_raw t container ~event = Executor.run (executor t) container ~event
+let run_event_raw t container ~event =
+  if not (Tr.on ()) then Executor.run (executor t) container ~event
+  else begin
+    let before = Container.commands_interpreted container in
+    let outcome = Executor.run (executor t) container ~event in
+    Tr.policy_run ~container:(Container.id container) ~event
+      ~outcome:
+        (match outcome with
+        | Executor.Returned _ -> Hipec_trace.Event.Returned
+        | Executor.Runtime_error _ -> Hipec_trace.Event.Policy_error
+        | Executor.Timed_out -> Hipec_trace.Event.Policy_timeout)
+      ~commands:(Container.commands_interpreted container - before);
+    outcome
+  end
 
 (* Policy fallback (graceful degradation): strip the container of its
    private lists and hand the region back to the kernel's default
@@ -238,7 +256,8 @@ let demote t container ~reason =
     Kernel.clear_manager t.kernel (Container.obj container);
     Container.set_execution_started container None;
     Container.set_degraded container ~reason ~at:(Kernel.now t.kernel);
-    t.stats.demotions <- t.stats.demotions + 1
+    t.stats.demotions <- t.stats.demotions + 1;
+    Tr.demote ~container:(Container.id container) ~reason
   end
 
 let handle_outcome t container outcome =

@@ -206,6 +206,8 @@ let rec start t req =
                if req.is_write then t.writes <- t.writes + 1
                else t.reads <- t.reads + 1
            | Error _ -> ());
+           Hipec_trace.Trace.disk_io ~block:req.block ~nblocks:req.nblocks
+             ~write:req.is_write ~ok:(Result.is_ok result);
            req.on_complete engine result;
            match List.rev t.queue with
            | [] -> t.busy <- false
@@ -234,12 +236,16 @@ let submit_write t ~block ~nblocks on_complete =
 (* The fault path's synchronous transfers: the caller charges the
    returned duration and inspects the outcome. *)
 let sync_transfer t ~is_write ~block ~nblocks =
-  match extent_error t ~block ~nblocks with
-  | Some err -> (t.params.controller_overhead, Error err)
-  | None ->
-      let d = service_time_unchecked t ~block ~nblocks in
-      let d = Sim_time.add d (spike_delay t) in
-      (d, fault_outcome t ~is_write ~block ~nblocks)
+  let d, result =
+    match extent_error t ~block ~nblocks with
+    | Some err -> (t.params.controller_overhead, Error err)
+    | None ->
+        let d = service_time_unchecked t ~block ~nblocks in
+        let d = Sim_time.add d (spike_delay t) in
+        (d, fault_outcome t ~is_write ~block ~nblocks)
+  in
+  Hipec_trace.Trace.disk_io ~block ~nblocks ~write:is_write ~ok:(Result.is_ok result);
+  (d, result)
 
 let sequential_transfer_time t ~nblocks =
   if nblocks <= 0 then invalid_arg "Disk: nblocks <= 0";

@@ -8,8 +8,14 @@ type t = { entries : (int, entry) Hashtbl.t }
 
 let create () = { entries = Hashtbl.create 1024 }
 
-let enter t ~vpn ~frame ~prot = Hashtbl.replace t.entries vpn { frame; prot }
-let remove t ~vpn = Hashtbl.remove t.entries vpn
+let enter t ~vpn ~frame ~prot =
+  Hipec_trace.Trace.map_op ~vpn ~enter:true;
+  Hashtbl.replace t.entries vpn { frame; prot }
+
+let remove t ~vpn =
+  if Hipec_trace.Trace.on () && Hashtbl.mem t.entries vpn then
+    Hipec_trace.Trace.map_op ~vpn ~enter:false;
+  Hashtbl.remove t.entries vpn
 let remove_all t = Hashtbl.reset t.entries
 
 let protect t ~vpn ~prot =

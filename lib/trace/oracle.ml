@@ -1,0 +1,131 @@
+type access = { page : int; write : bool }
+type eviction = { page : int; dirty : bool }
+type result = { faults : int; evictions : eviction list }
+
+(* ------------------------------------------------------------------ *)
+(* One-complex-command policies (FIFO / LRU / MRU)                     *)
+(*                                                                     *)
+(* The executor's PageFault program takes a free slot when one exists, *)
+(* otherwise runs the complex command over the active queue: FIFO      *)
+(* peeks the head (insertion order), LRU/MRU minimize/maximize         *)
+(* Vm_page.last_access.  Residency capacity is exactly the minFrame    *)
+(* grant.  Access index stands in for simulated time: both are         *)
+(* strictly increasing across accesses, so the order relations agree.  *)
+(* ------------------------------------------------------------------ *)
+
+type page_state = {
+  mutable arrival : int;
+  mutable last : int;
+  mutable dirty : bool;
+}
+
+let simple select ~frames accesses =
+  let resident : (int, page_state) Hashtbl.t = Hashtbl.create 64 in
+  let free = ref frames in
+  let faults = ref 0 in
+  let evictions = ref [] in
+  Array.iteri
+    (fun tick { page; write } ->
+      match Hashtbl.find_opt resident page with
+      | Some st ->
+          st.last <- tick;
+          if write then st.dirty <- true
+      | None ->
+          incr faults;
+          if !free > 0 then decr free
+          else begin
+            let victim =
+              Hashtbl.fold
+                (fun p st best ->
+                  match best with
+                  | None -> Some (p, st)
+                  | Some (_, bst) -> if select st bst then Some (p, st) else best)
+                resident None
+            in
+            match victim with
+            | None -> failwith "Oracle: no resident page to evict"
+            | Some (p, st) ->
+                evictions := { page = p; dirty = st.dirty } :: !evictions;
+                Hashtbl.remove resident p
+          end;
+          Hashtbl.add resident page { arrival = tick; last = tick; dirty = write })
+    accesses;
+  { faults = !faults; evictions = List.rev !evictions }
+
+let fifo ~frames accesses =
+  simple (fun a b -> a.arrival < b.arrival) ~frames accesses
+
+let lru ~frames accesses = simple (fun a b -> a.last < b.last) ~frames accesses
+let mru ~frames accesses = simple (fun a b -> a.last > b.last) ~frames accesses
+
+(* ------------------------------------------------------------------ *)
+(* Table-2 second chance (the paper's default pageout policy)          *)
+(* ------------------------------------------------------------------ *)
+
+type sc_page = {
+  sc_page : int;
+  mutable referenced : bool;
+  mutable sc_dirty : bool;
+}
+
+let second_chance ~frames ?free_target ?inactive_target ?reserved_target accesses =
+  (* operand defaults from Api.build_operands *)
+  let free_target = Option.value free_target ~default:(max 4 (frames / 16)) in
+  let inactive_target = Option.value inactive_target ~default:(max 8 (frames / 4)) in
+  let reserved_target = Option.value reserved_target ~default:2 in
+  let active : sc_page Queue.t = Queue.create () in
+  let inactive : sc_page Queue.t = Queue.create () in
+  let resident : (int, sc_page) Hashtbl.t = Hashtbl.create 64 in
+  let free = ref frames in
+  let faults = ref 0 in
+  let evictions = ref [] in
+  let lack_free_frame () =
+    (* refill: move active head pages to the inactive tail, clearing
+       their reference bits, until the inactive target is met *)
+    while Queue.length inactive < inactive_target && not (Queue.is_empty active) do
+      let p = Queue.pop active in
+      p.referenced <- false;
+      Queue.push p inactive
+    done;
+    (* fill: sweep the inactive head; referenced pages reactivate with a
+       cleared bit, the rest are flushed (if dirty) and freed *)
+    while !free < free_target && not (Queue.is_empty inactive) do
+      let p = Queue.pop inactive in
+      if p.referenced then begin
+        Queue.push p active;
+        p.referenced <- false
+      end
+      else begin
+        (* the program's Flush precedes the free-queue Enqueue, so the
+           eviction record sees a clean page *)
+        p.sc_dirty <- false;
+        evictions := { page = p.sc_page; dirty = false } :: !evictions;
+        Hashtbl.remove resident p.sc_page;
+        incr free
+      end
+    done
+  in
+  Array.iter
+    (fun { page; write } ->
+      match Hashtbl.find_opt resident page with
+      | Some p ->
+          p.referenced <- true;
+          if write then p.sc_dirty <- true
+      | None ->
+          incr faults;
+          if not (!free > reserved_target) then lack_free_frame ();
+          if !free = 0 then
+            failwith "Oracle.second_chance: DeQueue from empty free queue";
+          decr free;
+          let p = { sc_page = page; referenced = true; sc_dirty = write } in
+          Hashtbl.add resident page p;
+          Queue.push p active)
+    accesses;
+  { faults = !faults; evictions = List.rev !evictions }
+
+let of_policy_name = function
+  | "fifo" -> Some fifo
+  | "lru" -> Some lru
+  | "mru" -> Some mru
+  | "second-chance" -> Some (fun ~frames accesses -> second_chance ~frames accesses)
+  | _ -> None

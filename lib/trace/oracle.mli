@@ -1,0 +1,48 @@
+(** Pure-functional reference models of the example replacement
+    policies.
+
+    Each oracle consumes an access trace over pages [0 .. npages) of a
+    region holding exactly [frames] private frames (the container's
+    [minFrame] grant, which the simple policies never grow) and emits
+    the eviction sequence the HiPEC executor must produce, in order.
+    The differential test suite replays the same trace through the real
+    interpreter and compares event-for-event.
+
+    Model correspondence, verified against the executor:
+    - a resident page's recency is updated on {e every} access (the
+      kernel touches pages on TLB hits through [page_by_frame]), and
+      simulated time strictly increases between accesses, so LRU/MRU
+      victims are unambiguous;
+    - FIFO evicts the active-queue head, which is insertion order;
+    - the Table-2 second-chance policy flushes dirty victims with an
+      explicit [Flush] before enqueueing them on the free queue, so its
+      eviction records always carry [dirty = false]; the simple
+      policies launder inside the free-queue transition and report the
+      pre-flush dirty bit. *)
+
+type access = { page : int; write : bool }
+type eviction = { page : int; dirty : bool }
+type result = { faults : int; evictions : eviction list }
+
+val fifo : frames:int -> access array -> result
+val lru : frames:int -> access array -> result
+val mru : frames:int -> access array -> result
+
+val second_chance :
+  frames:int ->
+  ?free_target:int ->
+  ?inactive_target:int ->
+  ?reserved_target:int ->
+  access array ->
+  result
+(** The paper's default pageout policy (Table 2 / Figure 4: FIFO with
+    second chance).  Target defaults match [Api.default_spec]:
+    [free_target = max 4 (frames/16)], [inactive_target = max 8
+    (frames/4)], [reserved_target = 2].  Raises [Failure] if the policy
+    would dequeue from an empty free queue (a runtime error in the real
+    executor). *)
+
+val of_policy_name :
+  string -> (frames:int -> access array -> result) option
+(** ["fifo" | "lru" | "mru" | "second-chance"] (second-chance with
+    default targets). *)

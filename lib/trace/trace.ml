@@ -1,0 +1,313 @@
+open Hipec_sim
+
+(* Per-id-space normalization: raw kernel ids come from global counters
+   that survive across runs in one process; digests must not. *)
+let space_task = 0
+let space_obj = 1
+let space_container = 2
+
+type collector = {
+  mutable seq : int;
+  counts : int array;
+  fault_latency : int array;  (* 16 x 1ms buckets *)
+  mutable fault_latency_overflow : int;
+  ring : Event.t option array;
+  mutable digest : int64;
+  scratch : Buffer.t;
+  store : Buffer.t option;
+  mutable clock : unit -> Sim_time.t;
+  norm : (int * int, int) Hashtbl.t;
+  next_norm : int array;
+}
+
+let current : collector option ref = ref None
+let enabled = ref false
+let on () = !enabled
+let active () = !current
+
+let start ?(ring = 512) ?(store = false) ?clock () =
+  let c =
+    {
+      seq = 0;
+      counts = Array.make Event.num_categories 0;
+      fault_latency = Array.make 16 0;
+      fault_latency_overflow = 0;
+      ring = Array.make (max 1 ring) None;
+      digest = 0xcbf29ce484222325L;  (* FNV-1a 64 offset basis *)
+      scratch = Buffer.create 64;
+      store = (if store then Some (Buffer.create 4096) else None);
+      clock = Option.value clock ~default:(fun () -> Sim_time.zero);
+      norm = Hashtbl.create 64;
+      next_norm = Array.make 3 0;
+    }
+  in
+  current := Some c;
+  enabled := true;
+  c
+
+let stop () =
+  let c = !current in
+  current := None;
+  enabled := false;
+  c
+
+let set_clock f = match !current with Some c -> c.clock <- f | None -> ()
+
+let fnv_prime = 0x100000001b3L
+
+let digest_bytes h (b : Buffer.t) =
+  let h = ref h in
+  for i = 0 to Buffer.length b - 1 do
+    h :=
+      Int64.mul
+        (Int64.logxor !h (Int64.of_int (Char.code (Buffer.nth b i))))
+        fnv_prime
+  done;
+  !h
+
+let push c payload =
+  let ev = { Event.seq = c.seq; time = c.clock (); payload } in
+  c.seq <- c.seq + 1;
+  c.counts.(Event.tag payload) <- c.counts.(Event.tag payload) + 1;
+  Buffer.clear c.scratch;
+  Event.encode c.scratch ev;
+  c.digest <- digest_bytes c.digest c.scratch;
+  (match c.store with Some b -> Buffer.add_buffer b c.scratch | None -> ());
+  c.ring.(ev.Event.seq mod Array.length c.ring) <- Some ev
+
+let norm c space raw =
+  match Hashtbl.find_opt c.norm (space, raw) with
+  | Some v -> v
+  | None ->
+      let v = c.next_norm.(space) in
+      c.next_norm.(space) <- v + 1;
+      Hashtbl.add c.norm (space, raw) v;
+      v
+
+let with_c f = match !current with Some c -> f c | None -> ()
+
+let access ~task ~vpn ~write =
+  with_c (fun c -> push c (Event.Access { task = norm c space_task task; vpn; write }))
+
+let fault ~task ~vpn ~kind ~latency_ns =
+  with_c (fun c ->
+      let bucket = latency_ns / 1_000_000 in
+      if bucket < 16 then c.fault_latency.(bucket) <- c.fault_latency.(bucket) + 1
+      else c.fault_latency_overflow <- c.fault_latency_overflow + 1;
+      push c (Event.Fault { task = norm c space_task task; vpn; kind; latency_ns }))
+
+let pagein ~task ~block =
+  with_c (fun c -> push c (Event.Pagein { task = norm c space_task task; block }))
+
+let pageout ~obj ~offset ~block =
+  with_c (fun c ->
+      push c (Event.Pageout { obj_id = norm c space_obj obj; offset; block }))
+
+let evict ~source ~obj ~offset ~dirty =
+  with_c (fun c ->
+      push c (Event.Evict { source; obj_id = norm c space_obj obj; offset; dirty }))
+
+let grant ~container ~frames =
+  with_c (fun c ->
+      push c (Event.Grant { container = norm c space_container container; frames }))
+
+let reclaim ~container ~frames ~forced =
+  with_c (fun c ->
+      push c
+        (Event.Reclaim { container = norm c space_container container; frames; forced }))
+
+let policy_run ~container ~event ~outcome ~commands =
+  with_c (fun c ->
+      push c
+        (Event.Policy_run
+           { container = norm c space_container container; event; outcome; commands }))
+
+let demote ~container ~reason =
+  with_c (fun c ->
+      push c (Event.Demote { container = norm c space_container container; reason }))
+
+let io_retry ~block ~write ~attempt ~gave_up =
+  with_c (fun c -> push c (Event.Io_retry { block; write; attempt; gave_up }))
+
+let disk_io ~block ~nblocks ~write ~ok =
+  with_c (fun c -> push c (Event.Disk_io { block; nblocks; write; ok }))
+
+let map_op ~vpn ~enter = with_c (fun c -> push c (Event.Map_op { vpn; enter }))
+
+let kill ~task ~reason =
+  with_c (fun c -> push c (Event.Task_kill { task = norm c space_task task; reason }))
+
+(* ------------------------------------------------------------------ *)
+(* Inspection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let events_seen c = c.seq
+let counts c = Array.copy c.counts
+let digest c = c.digest
+let digest_hex d = Printf.sprintf "%016Lx" d
+
+let recent c =
+  let cap = Array.length c.ring in
+  let first = max 0 (c.seq - cap) in
+  let out = ref [] in
+  for s = c.seq - 1 downto first do
+    match c.ring.(s mod cap) with
+    | Some ev when ev.Event.seq = s -> out := ev :: !out
+    | Some _ | None -> ()
+  done;
+  !out
+
+let decode_stream s count =
+  let pos = ref 0 in
+  Array.init count (fun seq -> Event.decode s ~pos ~seq)
+
+let events c =
+  match c.store with
+  | None -> invalid_arg "Trace.events: collector was started without ~store:true"
+  | Some b -> decode_stream (Buffer.contents b) c.seq
+
+let fault_latency_buckets c = (Array.copy c.fault_latency, c.fault_latency_overflow)
+
+let pp_summary fmt c =
+  Format.fprintf fmt "@[<v>trace: %d events, digest %s@," c.seq (digest_hex c.digest);
+  let parts = ref [] in
+  for i = Event.num_categories - 1 downto 0 do
+    if c.counts.(i) > 0 then
+      parts := Printf.sprintf "%s %d" (Event.category_name i) c.counts.(i) :: !parts
+  done;
+  Format.fprintf fmt "  counts: %s@,"
+    (if !parts = [] then "(empty)" else String.concat ", " !parts);
+  let total_faults = Array.fold_left ( + ) c.fault_latency_overflow c.fault_latency in
+  if total_faults > 0 then
+    Format.fprintf fmt "  fault latency (1ms buckets): [%s | >16ms %d]@,"
+      (String.concat " " (Array.to_list (Array.map string_of_int c.fault_latency)))
+      c.fault_latency_overflow;
+  Format.fprintf fmt "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Recorded streams                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Recorded = struct
+  type t = { meta : (string * string) list; events : Event.t array; digest : int64 }
+
+  let of_collector c ~meta = { meta; events = events c; digest = c.digest }
+  let meta_find t key = List.assoc_opt key t.meta
+
+  let magic = "HPTR1\n"
+
+  let save t ~path =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b magic;
+    let put_varint n =
+      let rec go n =
+        if n < 0x80 then Buffer.add_char b (Char.chr n)
+        else begin
+          Buffer.add_char b (Char.chr (0x80 lor (n land 0x7f)));
+          go (n lsr 7)
+        end
+      in
+      go n
+    in
+    let put_string s =
+      put_varint (String.length s);
+      Buffer.add_string b s
+    in
+    put_varint (List.length t.meta);
+    List.iter
+      (fun (k, v) ->
+        put_string k;
+        put_string v)
+      t.meta;
+    put_varint (Array.length t.events);
+    Array.iter (fun ev -> Event.encode b ev) t.events;
+    Buffer.add_int64_be b t.digest;
+    let oc = open_out_bin path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Buffer.output_buffer oc b)
+
+  let load ~path =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error e -> Error e
+    | exception End_of_file -> Error (path ^ ": truncated trace file")
+    | s -> (
+        try
+          if String.length s < String.length magic + 8 then
+            failwith "truncated trace file";
+          if String.sub s 0 (String.length magic) <> magic then
+            failwith "not a HiPEC trace file (bad magic)";
+          let pos = ref (String.length magic) in
+          let get_varint () = Event.decode_varint s pos in
+          let get_string () =
+            let len = get_varint () in
+            if !pos + len > String.length s then failwith "truncated meta";
+            let r = String.sub s !pos len in
+            pos := !pos + len;
+            r
+          in
+          let nmeta = get_varint () in
+          let meta =
+            List.init nmeta (fun _ ->
+                let k = get_string () in
+                let v = get_string () in
+                (k, v))
+          in
+          let count = get_varint () in
+          let body_start = !pos in
+          let events = Array.init count (fun seq -> Event.decode s ~pos ~seq) in
+          let body_end = !pos in
+          if body_end + 8 > String.length s then failwith "truncated digest";
+          let stored = String.get_int64_be s body_end in
+          (* recompute the streaming digest over the encoded bytes *)
+          let h = ref 0xcbf29ce484222325L in
+          for i = body_start to body_end - 1 do
+            h :=
+              Int64.mul (Int64.logxor !h (Int64.of_int (Char.code s.[i]))) fnv_prime
+          done;
+          if !h <> stored then
+            failwith
+              (Printf.sprintf "digest mismatch: file says %s, events hash to %s"
+                 (digest_hex stored) (digest_hex !h));
+          Ok { meta; events; digest = stored }
+        with
+        | Failure e -> Error (path ^ ": " ^ e)
+        | Invalid_argument e -> Error (path ^ ": malformed trace file (" ^ e ^ ")"))
+
+  let to_json t =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\"meta\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\":\"%s\"" k v))
+      t.meta;
+    Buffer.add_string b
+      (Printf.sprintf "},\"digest\":\"%s\",\"events\":[" (digest_hex t.digest));
+    Array.iteri
+      (fun i ev ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Event.to_json b ev)
+      t.events;
+    Buffer.add_string b "]}\n";
+    Buffer.contents b
+
+  type divergence = { seq : int; left : Event.t option; right : Event.t option }
+
+  let diff a b =
+    let na = Array.length a.events and nb = Array.length b.events in
+    let rec scan i =
+      if i >= na && i >= nb then None
+      else if i >= na then Some { seq = i; left = None; right = Some b.events.(i) }
+      else if i >= nb then Some { seq = i; left = Some a.events.(i); right = None }
+      else
+        let ea = a.events.(i) and eb = b.events.(i) in
+        if ea.Event.time = eb.Event.time && ea.Event.payload = eb.Event.payload then
+          scan (i + 1)
+        else Some { seq = i; left = Some ea; right = Some eb }
+    in
+    scan 0
+end

@@ -50,11 +50,15 @@ let submit_write ?(policy = default_policy) stats disk ~remap ~block ~nblocks on
             match retry_target ~remap stats ~block err with
             | Some b when tries < policy.limit ->
                 stats.io_retries <- stats.io_retries + 1;
+                Hipec_trace.Trace.io_retry ~block:b ~write:true ~attempt:(tries + 1)
+                  ~gave_up:false;
                 ignore
                   (Engine.schedule engine ~after:(backoff policy ~attempt:(tries + 1))
                      (fun _ -> attempt ~block:b ~tries:(tries + 1)))
             | Some _ | None ->
                 stats.io_giveups <- stats.io_giveups + 1;
+                Hipec_trace.Trace.io_retry ~block ~write:true ~attempt:tries
+                  ~gave_up:true;
                 on_done engine (Error err)))
   in
   attempt ~block ~tries:0
@@ -70,11 +74,14 @@ let sync_read ?(policy = default_policy) stats ~charge disk ~block ~nblocks =
         if (match err with Disk.Transient _ -> true | _ -> false) && tries < policy.limit
         then begin
           stats.io_retries <- stats.io_retries + 1;
+          Hipec_trace.Trace.io_retry ~block ~write:false ~attempt:(tries + 1)
+            ~gave_up:false;
           charge (backoff policy ~attempt:(tries + 1));
           attempt (tries + 1)
         end
         else begin
           stats.io_giveups <- stats.io_giveups + 1;
+          Hipec_trace.Trace.io_retry ~block ~write:false ~attempt:tries ~gave_up:true;
           Error err
         end
   in

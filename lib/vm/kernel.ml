@@ -4,6 +4,7 @@ open Hipec_machine
 let log = Logs.Src.create "hipec.kernel" ~doc:"simulated kernel"
 
 module Log = (val Logs.src_log log : Logs.LOG)
+module Tr = Hipec_trace.Trace
 
 exception Task_terminated of Task.t * string
 
@@ -69,6 +70,9 @@ type t = {
 
 let create ?(config = default_config) () =
   let engine = Engine.create () in
+  (* an active collector stamps events with this kernel's clock; a no-op
+     otherwise *)
+  Tr.set_clock (fun () -> Engine.now engine);
   let rng = Rng.create ~seed:config.seed in
   let disk =
     Disk.create ?params:config.disk_params ?faults:config.disk_faults ~engine
@@ -188,6 +192,7 @@ let release_region_pages t task region =
 let terminate_task t task ~reason =
   if Task.alive task then begin
     Log.warn (fun m -> m "terminating %s: %s" (Task.name task) reason);
+    Tr.kill ~task:(Task.id task) ~reason;
     Task.kill task ~reason;
     List.iter (fun r -> release_region_pages t task r) (Vm_map.regions (Task.vm_map task));
     Pmap.remove_all (Task.pmap task);
@@ -272,7 +277,7 @@ let pagein t task ~block =
       ~charge:(fun d -> charge t d)
       t.disk ~block ~nblocks:Vm_object.blocks_per_page
   with
-  | Ok () -> ()
+  | Ok () -> Tr.pagein ~task:(Task.id task) ~block
   | Error err ->
       let reason = "unrecoverable paging I/O error: " ^ Disk.io_error_to_string err in
       terminate_task t task ~reason;
@@ -370,6 +375,12 @@ let prefetch t obj ~offset =
 let fault t task region ~vpn ~write =
   Task.count_fault task;
   t.stats.faults <- t.stats.faults + 1;
+  let t0 = now t in
+  let emit kind =
+    if Tr.on () then
+      Tr.fault ~task:(Task.id task) ~vpn ~kind
+        ~latency_ns:(Sim_time.to_ns (Sim_time.sub (now t) t0))
+  in
   charge t t.costs.Costs.fault_trap;
   if t.hipec_kernel then charge t t.costs.Costs.hipec_region_check;
   let obj = region.Vm_map.obj in
@@ -384,10 +395,16 @@ let fault t task region ~vpn ~write =
       Vm_page.touch page (now t);
       t.page_by_frame.(Frame.index (Vm_page.frame page)) <- Some page;
       Frame.set_referenced (Vm_page.frame page) true;
-      if write then Frame.set_modified (Vm_page.frame page) true
+      if write then Frame.set_modified (Vm_page.frame page) true;
+      emit Hipec_trace.Event.Soft
   | None -> (
       charge t t.costs.Costs.fault_service;
       let default_path () =
+        (* classify by which stat the install bumps: a lazy copy beats
+           the pagein it may also perform *)
+        let zf = t.stats.zero_fill_faults
+        and pi = t.stats.pagein_faults
+        and cc = t.stats.cow_copies in
         let frame = default_pool_frame t task in
         let slot = Vm_page.create ~frame in
         let page = install_page t task region ~obj ~offset ~vpn slot in
@@ -395,7 +412,12 @@ let fault t task region ~vpn ~write =
         if write then Frame.set_modified (Vm_page.frame page) true;
         Pageout.note_new_resident t.pageout page;
         if t.readahead > 0 && Vm_object.has_backing_data obj ~offset then
-          prefetch t obj ~offset
+          prefetch t obj ~offset;
+        emit
+          (if t.stats.cow_copies > cc then Hipec_trace.Event.Cow
+           else if t.stats.zero_fill_faults > zf then Hipec_trace.Event.Zero_fill
+           else if t.stats.pagein_faults > pi then Hipec_trace.Event.File_pagein
+           else Hipec_trace.Event.Soft)
       in
       match Hashtbl.find_opt t.managers (Vm_object.id obj) with
       | Some manager -> (
@@ -413,7 +435,8 @@ let fault t task region ~vpn ~write =
               let page = install_page t task region ~obj ~offset ~vpn slot in
               Frame.set_referenced (Vm_page.frame page) true;
               if write then Frame.set_modified (Vm_page.frame page) true;
-              manager.on_resolved ~task ~page)
+              manager.on_resolved ~task ~page;
+              emit Hipec_trace.Event.Hipec)
       | None -> default_path ())
 
 (* A write hit a write-protected translation in a writable region: the
@@ -422,6 +445,7 @@ let fault t task region ~vpn ~write =
 let resolve_cow_write t task region ~vpn =
   Task.count_fault task;
   t.stats.faults <- t.stats.faults + 1;
+  let t0 = now t in
   charge t t.costs.Costs.fault_trap;
   let obj = region.Vm_map.obj in
   let offset = Vm_map.offset_of_vpn region vpn in
@@ -445,7 +469,10 @@ let resolve_cow_write t task region ~vpn =
       Frame.set_modified (Vm_page.frame page) true
   | None -> ());
   charge t t.costs.Costs.pmap_enter;
-  Pmap.protect (Task.pmap task) ~vpn ~prot:region.Vm_map.prot
+  Pmap.protect (Task.pmap task) ~vpn ~prot:region.Vm_map.prot;
+  if Tr.on () then
+    Tr.fault ~task:(Task.id task) ~vpn ~kind:Hipec_trace.Event.Cow
+      ~latency_ns:(Sim_time.to_ns (Sim_time.sub (now t) t0))
 
 let set_access_recorder t tap = t.access_recorder <- tap
 
@@ -453,6 +480,7 @@ let access_vpn t task ~vpn ~write =
   if not (Task.alive task) then
     invalid_arg (Printf.sprintf "Kernel.access: task %s is dead" (Task.name task));
   (match t.access_recorder with Some tap -> tap task ~vpn ~write | None -> ());
+  Tr.access ~task:(Task.id task) ~vpn ~write;
   let t0 = Engine.now t.engine in
   Fun.protect
     ~finally:(fun () ->

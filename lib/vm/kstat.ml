@@ -35,6 +35,27 @@ let pp fmt k =
   line "fault injection" "%d transients, %d bad-block hits, %d latency spikes"
     (Disk.faults_injected disk) (Disk.bad_block_hits disk)
     (Disk.latency_spikes disk);
+  (* only present while a trace collector is installed, so untraced runs
+     keep their historical output byte-for-byte *)
+  (match Hipec_trace.Trace.active () with
+  | None -> ()
+  | Some c ->
+      let module Tr = Hipec_trace.Trace in
+      let module Ev = Hipec_trace.Event in
+      line "trace" "%d events, digest %s" (Tr.events_seen c)
+        (Tr.digest_hex (Tr.digest c));
+      let counts = Tr.counts c in
+      let parts = ref [] in
+      for i = Ev.num_categories - 1 downto 0 do
+        if counts.(i) > 0 then
+          parts := Printf.sprintf "%s %d" (Ev.category_name i) counts.(i) :: !parts
+      done;
+      if !parts <> [] then line "trace counts" "%s" (String.concat ", " !parts);
+      let buckets, overflow = Tr.fault_latency_buckets c in
+      if Array.fold_left ( + ) overflow buckets > 0 then
+        line "trace fault latency" "1ms buckets [%s | >16ms %d]"
+          (String.concat " " (Array.to_list (Array.map string_of_int buckets)))
+          overflow);
   Format.fprintf fmt "@]"
 
 let to_string k = Format.asprintf "%a" pp k

@@ -82,6 +82,7 @@ let launder t ctx page =
         b
   in
   let frame = Vm_page.frame page in
+  Hipec_trace.Trace.pageout ~obj:(Vm_object.id obj) ~offset ~block;
   Vm_object.disconnect obj page;
   t.laundry <- t.laundry + 1;
   t.pageout_writes <- t.pageout_writes + 1;
@@ -123,6 +124,12 @@ let reclaim_step t ctx =
       end
       else begin
         t.evictions <- t.evictions + 1;
+        (if Hipec_trace.Trace.on () then
+           match Vm_page.binding page with
+           | Some (oid, offset) ->
+               Hipec_trace.Trace.evict ~source:Hipec_trace.Event.Daemon ~obj:oid
+                 ~offset ~dirty:(Vm_page.dirty page)
+           | None -> ());
         if Vm_page.dirty page then launder t ctx page else evict_clean ctx page;
         `Progress
       end

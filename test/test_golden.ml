@@ -1,0 +1,62 @@
+(* Golden-trace digests: each named scenario under its fixed seed must
+   reproduce the digest and event count pinned in golden/digests.txt.
+
+   A mismatch means the simulation's observable event stream changed.
+   If the change is intentional, regenerate the line with
+
+     dune exec bin/hipec_cli.exe -- trace record --scenario NAME
+
+   and update golden/digests.txt with the printed digest and count. *)
+
+open Hipec_trace
+open Hipec_workloads
+
+(* found whether we run under `dune runtest` (cwd = test/) or by hand
+   from the repository root *)
+let golden_file =
+  if Sys.file_exists "golden/digests.txt" then "golden/digests.txt"
+  else "test/golden/digests.txt"
+
+let read_golden () =
+  let ic = open_in golden_file in
+  let rec go acc =
+    match input_line ic with
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    | line -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go acc
+        else
+          match String.split_on_char ' ' line with
+          | [ name; digest; events ] -> go ((name, digest, int_of_string events) :: acc)
+          | _ -> failwith (golden_file ^ ": malformed line: " ^ line))
+  in
+  go []
+
+let check_scenario (name, digest, events) () =
+  let scenario =
+    match Trace_run.scenario_of_name name with
+    | Some s -> s
+    | None -> Alcotest.fail ("unknown golden scenario " ^ name)
+  in
+  match Trace_run.record scenario with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check string)
+        (name ^ ": digest")
+        digest
+        (Trace.digest_hex r.Trace.Recorded.digest);
+      Alcotest.(check int) (name ^ ": event count") events
+        (Array.length r.Trace.Recorded.events)
+
+let () =
+  let goldens = read_golden () in
+  if goldens = [] then failwith (golden_file ^ " lists no scenarios");
+  Alcotest.run "golden"
+    [
+      ( "digests",
+        List.map
+          (fun ((name, _, _) as g) -> Alcotest.test_case name `Quick (check_scenario g))
+          goldens );
+    ]

@@ -358,6 +358,95 @@ let prop_pmap_access_matches_lookup =
           | _ -> false)
         refs)
 
+(* The pmap's hardware ref/modify-bit emulation against a pure model:
+   random enter/access/remove/protect sequences, then every frame's bits
+   must match what the model accumulated.  Bits persist across [remove]
+   (Mach keeps them per physical page) and are cleared by [alloc]. *)
+let prop_pmap_refmod_model =
+  QCheck.Test.make ~name:"pmap ref/modify emulation matches a pure model" ~count:300
+    QCheck.(list (pair (int_bound 3) (pair (int_bound 7) bool)))
+    (fun ops ->
+      let tbl = Frame.Table.create ~total:16 in
+      let pm = Pmap.create () in
+      let frames = Hashtbl.create 8 in
+      (* vpn -> (writable, referenced, modified) *)
+      let model : (int, bool ref * bool ref * bool ref) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun (op, (vpn, flag)) ->
+          match op with
+          | 0 ->
+              if not (Hashtbl.mem frames vpn) then (
+                match Frame.Table.alloc tbl with
+                | None -> ()
+                | Some f ->
+                    Pmap.enter pm ~vpn ~frame:f
+                      ~prot:(if flag then Pmap.Read_write else Pmap.Read_only);
+                    Hashtbl.replace frames vpn f;
+                    Hashtbl.replace model vpn (ref flag, ref false, ref false))
+          | 1 -> (
+              let result = Pmap.access pm ~vpn ~write:flag in
+              match (Pmap.lookup pm ~vpn, result) with
+              | None, Pmap.Miss -> ()
+              | None, _ | Some _, Pmap.Miss ->
+                  QCheck.Test.fail_report "access disagrees with lookup"
+              | Some _, result -> (
+                  let rw, r, m = Hashtbl.find model vpn in
+                  match result with
+                  | Pmap.Protection_violation _ ->
+                      if !rw || not flag then
+                        QCheck.Test.fail_report "unexpected protection violation"
+                  | Pmap.Hit _ ->
+                      if flag && not !rw then
+                        QCheck.Test.fail_report "write hit on a read-only mapping";
+                      r := true;
+                      if flag then m := true
+                  | Pmap.Miss -> assert false))
+          | 2 -> Pmap.remove pm ~vpn
+          | _ ->
+              if Pmap.lookup pm ~vpn <> None then begin
+                Pmap.protect pm ~vpn ~prot:(if flag then Pmap.Read_write else Pmap.Read_only);
+                let rw, _, _ = Hashtbl.find model vpn in
+                rw := flag
+              end)
+        ops;
+      Hashtbl.fold
+        (fun vpn f acc ->
+          let _, r, m = Hashtbl.find model vpn in
+          acc && Frame.referenced f = !r && Frame.modified f = !m)
+        frames true)
+
+(* Frame-table grant invariants: a held frame is never granted again,
+   the free count plus the held set always conserves the total, and
+   nothing held is ever marked free. *)
+let prop_frame_no_double_grant =
+  QCheck.Test.make ~name:"frame table never double-grants a held frame" ~count:300
+    QCheck.(list (int_bound 3))
+    (fun ops ->
+      let total = 12 in
+      let tbl = Frame.Table.create ~total in
+      let held = Hashtbl.create 16 in
+      let ok = ref true in
+      let grant f =
+        if Hashtbl.mem held (Frame.index f) then ok := false
+        else Hashtbl.replace held (Frame.index f) f
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 | 1 -> Option.iter grant (Frame.Table.alloc tbl)
+          | 2 -> List.iter grant (Frame.Table.alloc_many tbl 2)
+          | _ -> (
+              match Hashtbl.fold (fun i f _ -> Some (i, f)) held None with
+              | None -> ()
+              | Some (i, f) ->
+                  Frame.Table.free tbl f;
+                  Hashtbl.remove held i))
+        ops;
+      !ok
+      && Frame.Table.check_conservation tbl
+      && Frame.Table.free_count tbl + Hashtbl.length held = total
+      && Hashtbl.fold (fun _ f acc -> acc && not (Frame.is_free f)) held true)
+
 let prop_disk_service_time_positive =
   QCheck.Test.make ~name:"disk service time positive and bounded" ~count:300
     QCheck.(pair (int_bound 511_000) (int_range 1 64))
@@ -415,6 +504,8 @@ let () =
           [
             prop_frame_table_conservation;
             prop_pmap_access_matches_lookup;
+            prop_pmap_refmod_model;
+            prop_frame_no_double_grant;
             prop_disk_service_time_positive;
           ] );
     ]

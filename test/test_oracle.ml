@@ -1,0 +1,174 @@
+(* Differential tests: the HiPEC executor running the library's example
+   replacement policies against the pure-functional oracles in
+   Hipec_trace.Oracle, event-for-event on random access traces.
+
+   The executor side is observed through the trace collector: every
+   policy eviction funnels through the executor's make_free_slot choke
+   point and is emitted as Evict{source=Policy}, and every fault the
+   policy resolved as Fault{kind=Hipec}. *)
+
+open Hipec_vm
+open Hipec_core
+open Hipec_trace
+module Oracle = Hipec_trace.Oracle
+
+(* Run [accesses] against a real kernel under [policy]; return the
+   observable in the oracle's vocabulary. *)
+let run_executor ~policy ~frames ~npages accesses =
+  let c = Trace.start ~store:true () in
+  let tear_down () = ignore (Trace.stop ()) in
+  match
+    let config =
+      {
+        Kernel.default_config with
+        Kernel.total_frames = max 256 (4 * frames);
+        hipec_kernel = true;
+      }
+    in
+    let k = Kernel.create ~config () in
+    let sys = Api.init ~start_checker:false k in
+    let task = Kernel.create_task k () in
+    Result.map
+      (fun (region, _container) ->
+        Array.iter
+          (fun { Oracle.page; write } ->
+            Kernel.access_vpn k task ~vpn:(region.Vm_map.start_vpn + page) ~write)
+          accesses;
+        Kernel.drain_io k)
+      (Api.vm_allocate_hipec sys task ~npages
+         (Api.default_spec ~policy ~min_frames:frames))
+  with
+  | exception e ->
+      tear_down ();
+      raise e
+  | Error e ->
+      tear_down ();
+      failwith e
+  | Ok () ->
+      tear_down ();
+      let faults = ref 0 and evictions = ref [] in
+      Array.iter
+        (fun ev ->
+          match ev.Event.payload with
+          | Event.Fault { kind = Event.Hipec; _ } -> incr faults
+          | Event.Evict { source = Event.Policy; offset; dirty; _ } ->
+              evictions := { Oracle.page = offset; dirty } :: !evictions
+          | _ -> ())
+        (Trace.events c);
+      { Oracle.faults = !faults; evictions = List.rev !evictions }
+
+let pp_eviction fmt { Oracle.page; dirty } =
+  Format.fprintf fmt "%d%s" page (if dirty then "*" else "")
+
+let pp_result fmt { Oracle.faults; evictions } =
+  Format.fprintf fmt "faults=%d evictions=[%a]" faults
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f "; ") pp_eviction)
+    evictions
+
+let check_equal ~name (expected : Oracle.result) (actual : Oracle.result) =
+  if expected <> actual then
+    QCheck.Test.fail_reportf "%s diverged@.oracle:   %a@.executor: %a" name pp_result
+      expected pp_result actual;
+  true
+
+let print_case (frames, npages, accesses) =
+  Format.asprintf "frames=%d npages=%d trace=[%s]" frames npages
+    (String.concat ","
+       (List.map
+          (fun { Oracle.page; write } -> Printf.sprintf "%d%s" page (if write then "w" else ""))
+          (Array.to_list accesses)))
+
+let case_gen ~fmin ~fmax st =
+  let open QCheck.Gen in
+  let frames = int_range fmin fmax st in
+  let npages = frames + 1 + int_bound 30 st in
+  let count = 50 + int_bound 250 st in
+  let accesses =
+    Array.init count (fun _ -> { Oracle.page = int_bound (npages - 1) st; write = bool st })
+  in
+  (frames, npages, accesses)
+
+let simple_prop flavour =
+  let name, policy, oracle =
+    match flavour with
+    | `Fifo -> ("fifo", Policies.fifo, Oracle.fifo)
+    | `Lru -> ("lru", Policies.lru, Oracle.lru)
+    | `Mru -> ("mru", Policies.mru, Oracle.mru)
+  in
+  QCheck.Test.make
+    ~name:(Printf.sprintf "executor %s matches the pure oracle" name)
+    ~count:40
+    (QCheck.make ~print:print_case (case_gen ~fmin:4 ~fmax:12))
+    (fun (frames, npages, accesses) ->
+      check_equal ~name (oracle ~frames accesses)
+        (run_executor ~policy:(policy ()) ~frames ~npages accesses))
+
+let second_chance_prop =
+  QCheck.Test.make ~name:"executor second-chance matches the pure oracle" ~count:40
+    (QCheck.make ~print:print_case (case_gen ~fmin:8 ~fmax:16))
+    (fun (frames, npages, accesses) ->
+      check_equal ~name:"second-chance"
+        (Oracle.second_chance ~frames accesses)
+        (run_executor ~policy:(Policies.fifo_second_chance ()) ~frames ~npages accesses))
+
+(* ------------------------------------------------------------------ *)
+(* Hand-worked unit cases, so a failure localizes without qcheck        *)
+(* ------------------------------------------------------------------ *)
+
+let t tr = Array.map (fun (p, w) -> { Oracle.page = p; write = w }) (Array.of_list tr)
+
+let test_fifo_handworked () =
+  (* 2 frames; 0 1 2 faults thrice, evicting 0 then 1; re-access 0
+     evicts 2 *)
+  let r = Oracle.fifo ~frames:2 (t [ (0, false); (1, true); (2, false); (0, false) ]) in
+  Alcotest.(check int) "faults" 4 r.Oracle.faults;
+  Alcotest.(check (list (pair int bool)))
+    "evictions"
+    [ (0, false); (1, true) ]
+    (List.map (fun { Oracle.page; dirty } -> (page, dirty)) r.Oracle.evictions)
+
+let test_lru_vs_mru_handworked () =
+  let trace = t [ (0, false); (1, false); (2, false) ] in
+  let lru = Oracle.lru ~frames:2 trace in
+  let mru = Oracle.mru ~frames:2 trace in
+  Alcotest.(check (list int)) "lru evicts oldest" [ 0 ]
+    (List.map (fun e -> e.Oracle.page) lru.Oracle.evictions);
+  Alcotest.(check (list int)) "mru evicts newest" [ 1 ]
+    (List.map (fun e -> e.Oracle.page) mru.Oracle.evictions)
+
+let test_oracle_of_policy_name () =
+  List.iter
+    (fun name ->
+      match Oracle.of_policy_name name with
+      | Some _ -> ()
+      | None -> Alcotest.fail ("missing oracle for " ^ name))
+    [ "fifo"; "lru"; "mru"; "second-chance" ];
+  Alcotest.(check bool) "unknown rejected" true (Oracle.of_policy_name "opt" = None)
+
+let test_cyclic_mru_beats_lru () =
+  (* the paper's nested-loop pattern: MRU faults strictly less *)
+  let npages = 12 and frames = 8 in
+  let trace =
+    Array.init (npages * 4) (fun i -> { Oracle.page = i mod npages; write = false })
+  in
+  let lru = Oracle.lru ~frames trace in
+  let mru = Oracle.mru ~frames trace in
+  Alcotest.(check bool)
+    (Printf.sprintf "mru %d < lru %d" mru.Oracle.faults lru.Oracle.faults)
+    true
+    (mru.Oracle.faults < lru.Oracle.faults)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "oracle"
+    [
+      ( "handworked",
+        [
+          Alcotest.test_case "fifo" `Quick test_fifo_handworked;
+          Alcotest.test_case "lru vs mru" `Quick test_lru_vs_mru_handworked;
+          Alcotest.test_case "of_policy_name" `Quick test_oracle_of_policy_name;
+          Alcotest.test_case "cyclic: mru beats lru" `Quick test_cyclic_mru_beats_lru;
+        ] );
+      ( "differential",
+        qc [ simple_prop `Fifo; simple_prop `Lru; simple_prop `Mru; second_chance_prop ] );
+    ]
