@@ -1,4 +1,4 @@
-.PHONY: all test bench examples clean quick-bench chaos oracle golden ci
+.PHONY: all test bench examples clean quick-bench chaos oracle golden backend-bench ci
 
 all:
 	dune build @all
@@ -17,10 +17,15 @@ oracle:
 golden:
 	dune exec test/test_golden.exe
 
+# interp vs compiled executor on the same scenarios; fails on digest
+# divergence and rewrites BENCH_3.json
+backend-bench:
+	dune exec bench/main.exe -- backend --quick
+
 # What CI runs: full build, the whole test suite (which includes the
-# oracle and golden suites), and the chaos acceptance checks at smoke
-# scale.
-ci: all test oracle golden chaos
+# oracle and golden suites), the chaos acceptance checks at smoke
+# scale, and the backend equivalence bench.
+ci: all test oracle golden chaos backend-bench
 
 bench:
 	dune exec bench/main.exe

@@ -405,6 +405,206 @@ let mechanism ~quick () =
     \ two system-call crossings and an external pager two IPC round trips)\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* Backend regression: interpreter vs compiled executor                *)
+(* ------------------------------------------------------------------ *)
+
+module Tr = Hipec_trace.Trace
+module Ev = Hipec_trace.Event
+
+(* A policy-heavy PageFault handler: a counted arithmetic loop in front
+   of the standard take, so per-command fetch/decode overhead dominates
+   the run — the cost the compiled backend exists to remove. *)
+let spin_x = Operand.Std.first_user
+let spin_limit = Operand.Std.first_user + 1
+let spin_zero = Operand.Std.first_user + 2
+
+let spin_program () =
+  let open Program.Asm in
+  let code =
+    match
+      assemble
+        [
+          Op (Instr.Arith (spin_x, spin_zero, Opcode.Arith_op.Mul)); (* x := 0 *)
+          Label "spin";
+          Op (Instr.Arith (spin_x, spin_x, Opcode.Arith_op.Inc));
+          Op (Instr.Comp (spin_x, spin_limit, Opcode.Comp_op.Lt));
+          Jump_to "take";
+          Jump_to "spin";
+          Label "take";
+          Op (Instr.Emptyq Operand.Std.free_queue);
+          Jump_to "grab";
+          Op (Instr.Fifo Operand.Std.active_queue);
+          Jump_to "grab";
+          Label "grab";
+          Op (Instr.Dequeue (Operand.Std.page_reg, Operand.Std.free_queue, Opcode.Queue_end.Head));
+          Op (Instr.Return Operand.Std.page_reg);
+        ]
+    with
+    | Ok code -> code
+    | Error e -> failwith e
+  in
+  Program.make
+    [
+      (Events.page_fault, code);
+      (Events.reclaim_frame, [| Instr.Return Operand.Std.null |]);
+    ]
+
+type backend_measure = {
+  wall_ns : float;
+  commands : int;
+  faults : int;
+  digest : string;
+  events : int;
+}
+
+let commands_per_sec m =
+  if m.wall_ns <= 0. then 0. else float_of_int m.commands /. (m.wall_ns /. 1e9)
+
+let with_backend backend f =
+  let saved = Executor.default_backend () in
+  Executor.set_default_backend backend;
+  Fun.protect ~finally:(fun () -> Executor.set_default_backend saved) f
+
+(* one spin-heavy run: cyclic scan over npages > frames, so every
+   access faults and runs the arithmetic loop *)
+let drive_spin ~spin ~frames ~npages ~loops () =
+  let config =
+    { Kernel.default_config with Kernel.total_frames = 4 * frames; hipec_kernel = true }
+  in
+  let k = Kernel.create ~config () in
+  let sys = Api.init ~start_checker:false k in
+  let task = Kernel.create_task k () in
+  let spec =
+    {
+      (Api.default_spec ~policy:(spin_program ()) ~min_frames:frames) with
+      Api.extra_operands =
+        [
+          (spin_x, Operand.Int (ref 0));
+          (spin_limit, Operand.Int (ref spin));
+          (spin_zero, Operand.Int (ref 0));
+        ];
+    }
+  in
+  match Api.vm_allocate_hipec sys task ~npages spec with
+  | Error e -> failwith ("spin-heavy: " ^ e)
+  | Ok (region, container) ->
+      for _ = 1 to loops do
+        for i = 0 to npages - 1 do
+          Kernel.access_vpn k task ~vpn:(region.Vm_map.start_vpn + i) ~write:false
+        done
+      done;
+      Kernel.drain_io k;
+      Container.commands_interpreted container
+
+let measure_spin backend ~quick =
+  let spin = 100 in
+  let frames = 128 and npages = 256 in
+  let loops = if quick then 8 else 24 in
+  with_backend backend (fun () ->
+      (* timed, untraced: pure executor speed *)
+      let t0 = Unix.gettimeofday () in
+      let commands = drive_spin ~spin ~frames ~npages ~loops () in
+      let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+      (* traced (streaming digest): the observable-equivalence check *)
+      let c = Tr.start ~store:false () in
+      ignore (drive_spin ~spin ~frames ~npages ~loops ());
+      ignore (Tr.stop ());
+      let counts = Tr.counts c in
+      {
+        wall_ns;
+        commands;
+        faults =
+          counts.(Ev.tag (Ev.Fault { task = 0; vpn = 0; kind = Ev.Hipec; latency_ns = 0 }));
+        digest = Tr.digest_hex (Tr.digest c);
+        events = Tr.events_seen c;
+      })
+
+let measure_scenario backend name =
+  let scenario =
+    match Trace_run.scenario_of_name name with
+    | Some s -> s
+    | None -> failwith ("unknown scenario " ^ name)
+  in
+  with_backend backend (fun () ->
+      let t0 = Unix.gettimeofday () in
+      match Trace_run.record scenario with
+      | Error e -> failwith (name ^ ": " ^ e)
+      | Ok r ->
+          let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+          let commands = ref 0 and faults = ref 0 in
+          Array.iter
+            (fun ev ->
+              match ev.Ev.payload with
+              | Ev.Policy_run { commands = c; _ } -> commands := !commands + c
+              | Ev.Fault _ -> incr faults
+              | _ -> ())
+            r.Tr.Recorded.events;
+          {
+            wall_ns;
+            commands = !commands;
+            faults = !faults;
+            digest = Tr.digest_hex r.Tr.Recorded.digest;
+            events = Array.length r.Tr.Recorded.events;
+          })
+
+let json_of_measure m =
+  Printf.sprintf
+    "{ \"wall_ns\": %.0f, \"commands\": %d, \"commands_per_sec\": %.0f, \"faults\": %d, \
+     \"events\": %d, \"digest\": \"%s\" }"
+    m.wall_ns m.commands (commands_per_sec m) m.faults m.events m.digest
+
+let backend_bench ~quick () =
+  header "Backend: interpreter vs compile-once executor (BENCH_3.json)";
+  let scenarios =
+    [
+      ("spin-heavy", fun b -> measure_spin b ~quick);
+      ("join-small", fun b -> measure_scenario b "join-small");
+      ("aim-small", fun b -> measure_scenario b "aim-small");
+    ]
+  in
+  Printf.printf "  %-12s %-9s %12s %14s %10s  %s\n" "scenario" "backend" "wall (ms)"
+    "commands/sec" "faults" "digest";
+  let rows =
+    List.map
+      (fun (name, measure) ->
+        let mi = measure Executor.Interp in
+        let mc = measure Executor.Compiled in
+        List.iter
+          (fun (bname, m) ->
+            Printf.printf "  %-12s %-9s %12.2f %14.0f %10d  %s\n" name bname
+              (m.wall_ns /. 1e6) (commands_per_sec m) m.faults m.digest)
+          [ ("interp", mi); ("compiled", mc) ];
+        let speedup =
+          if commands_per_sec mi > 0. then commands_per_sec mc /. commands_per_sec mi
+          else 0.
+        in
+        let digest_match = mi.digest = mc.digest && mi.events = mc.events in
+        Printf.printf "  %-12s %-9s %12s %13.2fx %10s  digest %s\n" "" "speedup" "" speedup
+          "" (if digest_match then "MATCH" else "MISMATCH");
+        if not digest_match then
+          failwith (Printf.sprintf "backend digests diverged on %s" name);
+        (name, mi, mc, speedup, digest_match))
+      scenarios
+  in
+  let path = "BENCH_3.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"bench\": \"backend\",\n  \"quick\": %b,\n  \"scenarios\": [\n"
+        quick;
+      List.iteri
+        (fun i (name, mi, mc, speedup, digest_match) ->
+          Printf.fprintf oc
+            "    { \"name\": \"%s\",\n      \"interp\": %s,\n      \"compiled\": %s,\n\
+            \      \"speedup_commands_per_sec\": %.3f,\n      \"digest_match\": %b }%s\n"
+            name (json_of_measure mi) (json_of_measure mc) speedup digest_match
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n}\n");
+  Printf.printf "\n  wrote %s\n\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: wall-clock micro-benchmarks of this implementation        *)
 (* ------------------------------------------------------------------ *)
 
@@ -500,11 +700,34 @@ let all_benches =
     ("ablation-readahead", ablation_readahead);
     ("mechanism", mechanism);
     ("chaos", chaos);
+    ("backend", backend_bench);
     ("bechamel", bechamel);
   ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* --backend interp|compiled (or --backend=X): set the process-wide
+     default execution backend before any bench installs a policy. *)
+  let args =
+    let rec strip acc = function
+      | [] -> List.rev acc
+      | [ "--backend" ] ->
+          prerr_endline "--backend requires an argument (interp|compiled)";
+          exit 2
+      | "--backend" :: v :: rest -> set v (List.rev_append acc rest)
+      | a :: rest when String.length a > 10 && String.sub a 0 10 = "--backend=" ->
+          set (String.sub a 10 (String.length a - 10)) (List.rev_append acc rest)
+      | a :: rest -> strip (a :: acc) rest
+    and set v rest =
+      (match Executor.backend_of_string v with
+      | Some b -> Executor.set_default_backend b
+      | None ->
+          Printf.eprintf "unknown backend %S (interp|compiled)\n" v;
+          exit 2);
+      rest
+    in
+    strip [] args
+  in
   let quick = List.mem "--quick" args || List.mem "--smoke" args in
   let trace = List.mem "--trace" args in
   let selected =

@@ -19,6 +19,27 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* --backend: select the policy-execution engine for commands that run
+   policies.  Evaluating the term sets the process-wide default, which
+   Frame_manager picks up at container install time. *)
+let backend_term =
+  let backend_conv =
+    Arg.conv
+      ( (fun s ->
+          match Executor.backend_of_string s with
+          | Some b -> Ok b
+          | None -> Error (`Msg (Printf.sprintf "unknown backend %S (interp|compiled)" s))),
+        fun fmt b -> Format.pp_print_string fmt (Executor.backend_name b) )
+  in
+  let doc =
+    "Policy execution engine: $(b,interp) decodes each command word on every \
+     dispatch; $(b,compiled) translates accepted programs to closures once at \
+     install time.  Defaults to $(b,HIPEC_BACKEND) or interp."
+  in
+  Term.(
+    const (fun b -> Option.iter Executor.set_default_backend b)
+    $ Arg.(value & opt (some backend_conv) None & info [ "backend" ] ~docv:"BACKEND" ~doc))
+
 (* ------------------------------------------------------------------ *)
 (* translate                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -209,7 +230,7 @@ let join_cmd =
   let scans =
     Arg.(value & opt int 64 & info [ "scans" ] ~docv:"N" ~doc:"Outer-table scans (Loop).")
   in
-  let run outer memory policy scans =
+  let run () outer memory policy scans =
     let c =
       {
         Join.default_config with
@@ -230,7 +251,7 @@ let join_cmd =
   in
   Cmd.v
     (Cmd.info "run-join" ~doc:"Run the nested-loop join of the paper's section 5.3.")
-    Term.(const run $ outer $ memory $ policy $ scans)
+    Term.(const run $ backend_term $ outer $ memory $ policy $ scans)
 
 (* ------------------------------------------------------------------ *)
 (* run-aim                                                             *)
@@ -255,7 +276,7 @@ let aim_cmd =
     Arg.(value & opt int 60 & info [ "seconds" ] ~docv:"S" ~doc:"Simulated duration.")
   in
   let hipec = Arg.(value & flag & info [ "hipec" ] ~doc:"Run on the HiPEC kernel.") in
-  let run users mix seconds hipec =
+  let run () users mix seconds hipec =
     let cfg =
       { Aim.default_config with Aim.users; mix; duration = T.sec seconds;
         hipec_kernel = hipec }
@@ -272,7 +293,7 @@ let aim_cmd =
   in
   Cmd.v
     (Cmd.info "run-aim" ~doc:"Run the AIM-style throughput benchmark of section 5.2.")
-    Term.(const run $ users $ mix $ seconds $ hipec)
+    Term.(const run $ backend_term $ users $ mix $ seconds $ hipec)
 
 (* ------------------------------------------------------------------ *)
 (* table3 / table4                                                     *)
@@ -326,7 +347,7 @@ let trace_run_cmd =
         & info [ "policy" ] ~docv:"FILE" ~doc:"Pseudo-code policy (default: built-in MRU).")
   in
   let count = Arg.(value & opt int 4096 & info [ "count" ] ~docv:"N" ~doc:"Accesses.") in
-  let run pattern npages frames policy_file count =
+  let run () pattern npages frames policy_file count =
     if npages < 1 || frames < 1 || count < 1 then begin
       Printf.eprintf "--pages, --frames and --count must be >= 1\n";
       exit 2
@@ -375,7 +396,7 @@ let trace_run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Replay a synthetic access trace under a HiPEC policy.")
-    Term.(const run $ pattern $ npages $ frames $ policy_file $ count)
+    Term.(const run $ backend_term $ pattern $ npages $ frames $ policy_file $ count)
 
 let write_file path contents =
   let oc = open_out_bin path in
@@ -454,7 +475,7 @@ let trace_record_cmd =
     Arg.(value & opt (some string) None
         & info [ "json" ] ~docv:"FILE" ~doc:"Also export the stream as JSON.")
   in
-  let run scenario output json =
+  let run () scenario output json =
     match scenario with
     | Error e ->
         Printf.eprintf "%s\n" e;
@@ -476,13 +497,13 @@ let trace_record_cmd =
   Cmd.v
     (Cmd.info "record"
        ~doc:"Run a scenario under the trace collector and serialize the event stream.")
-    Term.(const run $ scenario_args $ output $ json)
+    Term.(const run $ backend_term $ scenario_args $ output $ json)
 
 let trace_replay_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"A .trace recording.")
   in
-  let run file =
+  let run () file =
     match load_recorded file with
     | None -> 1
     | Some r -> (
@@ -509,7 +530,7 @@ let trace_replay_cmd =
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Re-execute a recording deterministically and diff the event digest.")
-    Term.(const run $ file)
+    Term.(const run $ backend_term $ file)
 
 let trace_diff_cmd =
   let file n doc = Arg.(required & pos n (some file) None & info [] ~docv:"FILE" ~doc) in

@@ -9,9 +9,9 @@ type t = {
   buffers : (int, Vm_map.region) Hashtbl.t;  (* container id -> command buffer *)
 }
 
-let init ?burst_fraction ?max_steps ?checker_timeout ?checker_wakeup
+let init ?burst_fraction ?max_steps ?backend ?checker_timeout ?checker_wakeup
     ?(start_checker = true) kernel =
-  let manager = Frame_manager.create ~kernel ?burst_fraction ?max_steps () in
+  let manager = Frame_manager.create ~kernel ?burst_fraction ?max_steps ?backend () in
   let checker =
     Checker.create ?timeout:checker_timeout ?initial_wakeup:checker_wakeup ~kernel ~manager
       ()
@@ -152,6 +152,10 @@ let hipec_region_of_spec t task region spec =
           match Frame_manager.admit t.manager container with
           | Error msg -> fail msg
           | Ok () ->
+              (* decode-once: under the compiled backend the accepted
+                 program is translated here, at install time, so no
+                 fault ever pays the decode cost *)
+              Executor.precompile (Frame_manager.executor t.manager) container;
               install_command_buffer t task container;
               install_hook t container;
               Ok (region, container)))

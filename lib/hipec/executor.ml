@@ -2,7 +2,7 @@ open Hipec_sim
 open Hipec_machine
 open Hipec_vm
 
-type services = {
+type services = Compiled.services = {
   request_frames : Container.t -> int -> bool;
   release_count : Container.t -> count:int -> int;
   release_page : Container.t -> Vm_page.t -> (unit, string) result;
@@ -12,26 +12,80 @@ type services = {
 
 type outcome = Returned of Operand.value option | Runtime_error of string | Timed_out
 
+type backend = Interp | Compiled
+
+let backend_name = function Interp -> "interp" | Compiled -> "compiled"
+
+let backend_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "interp" | "interpreter" -> Some Interp
+  | "compiled" | "compile" -> Some Compiled
+  | _ -> None
+
+(* Process default, so workloads that build their own kernels pick up a
+   CLI/bench/environment selection without threading configuration. *)
+let default =
+  ref
+    (match Option.bind (Sys.getenv_opt "HIPEC_BACKEND") backend_of_string with
+    | Some b -> b
+    | None -> Interp)
+
+let default_backend () = !default
+let set_default_backend b = default := b
+
 type t = {
   max_steps : int;
   max_activation_depth : int;
   engine : Engine.t;
   costs : Costs.t;
   services : services;
-  mutable commands_executed : int;
+  backend : backend;
+  counter : int ref;  (* commands executed, shared with compiled code *)
+  compiled : (int, Compiled.t) Hashtbl.t;  (* container id -> compiled program *)
 }
 
-let create ?(max_steps = 100_000) ?(max_activation_depth = 16) ~engine ~costs ~services () =
-  { max_steps; max_activation_depth; engine; costs; services; commands_executed = 0 }
+let create ?(max_steps = 100_000) ?(max_activation_depth = 16) ?backend ~engine ~costs
+    ~services () =
+  let backend = match backend with Some b -> b | None -> !default in
+  {
+    max_steps;
+    max_activation_depth;
+    engine;
+    costs;
+    services;
+    backend;
+    counter = ref 0;
+    compiled = Hashtbl.create 8;
+  }
 
-let commands_executed t = t.commands_executed
+let commands_executed t = !(t.counter)
+let backend t = t.backend
 
-(* Internal execution result: a value, an error, or budget exhaustion. *)
-type exec = Value of Operand.value option | Err of string | Tout
+let compiled_for t container =
+  let key = Container.id container in
+  match Hashtbl.find_opt t.compiled key with
+  | Some c -> c
+  | None ->
+      let c =
+        Compiled.compile ~engine:t.engine ~costs:t.costs ~max_steps:t.max_steps
+          ~max_activation_depth:t.max_activation_depth ~services:t.services
+          ~counter:t.counter container
+      in
+      Hashtbl.replace t.compiled key c;
+      c
+
+let precompile t container =
+  match t.backend with Compiled -> ignore (compiled_for t container) | Interp -> ()
+
+let forget t container = Hashtbl.remove t.compiled (Container.id container)
+
+(* Internal execution result: a value, an error, or budget exhaustion
+   (shared with the compiled backend). *)
+type exec = Compiled.exec = Value of Operand.value option | Err of string | Tout
 
 let ( let* ) r k = match r with Ok v -> k v | Error e -> Err e
 
-let run t container ~event =
+let run_interp t container ~event =
   let ops = Container.operands container in
   let free_q = Container.free_queue container in
   let charge d = Engine.advance t.engine d in
@@ -104,7 +158,7 @@ let run t container ~event =
               Err (Printf.sprintf "%s: control ran past CC %d" (Events.name event) cc)
             else begin
               incr steps;
-              t.commands_executed <- t.commands_executed + 1;
+              incr t.counter;
               Container.count_commands container 1;
               charge t.costs.Costs.hipec_fetch_decode;
               if !steps > t.max_steps then Tout
@@ -258,9 +312,14 @@ let run t container ~event =
           in
           step 0
   in
+  try exec_event event 0
+  with Invalid_argument m -> Err (Printf.sprintf "kernel check failed: %s" m)
+
+let run t container ~event =
   let result =
-    try exec_event event 0
-    with Invalid_argument m -> Err (Printf.sprintf "kernel check failed: %s" m)
+    match t.backend with
+    | Interp -> run_interp t container ~event
+    | Compiled -> Compiled.run (compiled_for t container) ~event
   in
   match result with
   | Value v ->

@@ -5,6 +5,15 @@
     the operations — entirely in kernel context, so the only cost is
     ~50 ns of fetch+decode per command (see {!Hipec_machine.Costs}).
 
+    Two backends execute the same semantics:
+
+    - {!Interp} re-decodes every command word on each fetch (the
+      reference implementation);
+    - {!Compiled} translates each event's command array into threaded
+      OCaml closures once, at install time (see {!Compiled}), and is
+      observationally identical — same simulated-time charges, counters,
+      error strings and trace digests — just faster on the host clock.
+
     On entry it stamps the container with the current time; the security
     checker polls that stamp to detect runaway policies.  Execution is
     additionally step-bounded: a policy that exceeds the budget is
@@ -17,7 +26,7 @@ open Hipec_vm
 
 (** Kernel services the executor's privileged commands call into
     (implemented by {!Frame_manager}). *)
-type services = {
+type services = Compiled.services = {
   request_frames : Container.t -> int -> bool;
       (** [Request]: grant [n] frames onto the container's free queue,
           or reject *)
@@ -41,21 +50,51 @@ type outcome =
   | Timed_out
       (** step budget exhausted; container left stamped for the checker *)
 
+(** {1 Backend selection} *)
+
+type backend =
+  | Interp  (** decode every command word on every fetch *)
+  | Compiled  (** decode once at install into threaded closures *)
+
+val backend_name : backend -> string
+val backend_of_string : string -> backend option
+(** ["interp"] / ["compiled"] (and common aliases). *)
+
+val default_backend : unit -> backend
+val set_default_backend : backend -> unit
+(** Process-wide default for executors created without an explicit
+    [?backend] — how the CLI/bench [--backend] flag reaches workloads
+    that build their own kernels.  Initialized from the [HIPEC_BACKEND]
+    environment variable ("compiled" selects the compiled backend);
+    otherwise {!Interp}. *)
+
 type t
 
 val create :
   ?max_steps:int ->
   ?max_activation_depth:int ->
+  ?backend:backend ->
   engine:Engine.t ->
   costs:Costs.t ->
   services:services ->
   unit ->
   t
-(** Defaults: 100_000 steps, depth 16. *)
+(** Defaults: 100_000 steps, depth 16, {!default_backend}[ ()]. *)
+
+val backend : t -> backend
 
 val run : t -> Container.t -> event:int -> outcome
-(** Interpret the container's handler for [event].  Charges
-    [hipec_dispatch] once plus [hipec_fetch_decode] per command. *)
+(** Execute the container's handler for [event].  Charges
+    [hipec_dispatch] once plus [hipec_fetch_decode] per command,
+    identically under either backend. *)
+
+val precompile : t -> Container.t -> unit
+(** Translate the container's program now (a no-op under {!Interp}) —
+    called from the install path so the decode cost is paid once, at
+    [vm_map_hipec] time, never on a fault. *)
+
+val forget : t -> Container.t -> unit
+(** Drop the container's cached compiled program (teardown/demotion). *)
 
 val commands_executed : t -> int
 (** Total across all runs (instrumentation). *)

@@ -80,19 +80,30 @@ let flush_bound_page t page =
           Ok ())
 
 (* Grant [n] frames from the machine free pool onto the container's
-   free queue as unbound slots. *)
+   free queue as unbound slots.  All-or-nothing: the pool can shrink
+   between the caller's headroom check and the allocation (the pageout
+   reserve, a daemon waking up), and a partial grant used to trip the
+   callers' accounting asserts.  On a short allocation the frames go
+   straight back and the caller sees 0, rejecting gracefully. *)
 let grant_frames t container n =
-  let frames = Frame.Table.alloc_many (Kernel.frame_table t.kernel) n in
-  List.iter
-    (fun frame ->
-      Page_queue.enqueue_tail (Container.free_queue container) (Vm_page.create ~frame))
-    frames;
+  let tbl = Kernel.frame_table t.kernel in
+  let frames = Frame.Table.alloc_many tbl n in
   let got = List.length frames in
-  Container.add_frames container got;
-  t.specific_total <- t.specific_total + got;
-  t.stats.frames_granted <- t.stats.frames_granted + got;
-  if got > 0 then Tr.grant ~container:(Container.id container) ~frames:got;
-  got
+  if got < n then begin
+    List.iter (Frame.Table.free tbl) frames;
+    0
+  end
+  else begin
+    List.iter
+      (fun frame ->
+        Page_queue.enqueue_tail (Container.free_queue container) (Vm_page.create ~frame))
+      frames;
+    Container.add_frames container got;
+    t.specific_total <- t.specific_total + got;
+    t.stats.frames_granted <- t.stats.frames_granted + got;
+    if got > 0 then Tr.grant ~container:(Container.id container) ~frames:got;
+    got
+  end
 
 (* Take up to [n] unbound slots back from the container's free queue. *)
 let take_free_slots t container n =
@@ -113,6 +124,34 @@ let take_free_slots t container n =
   t.stats.frames_reclaimed <- t.stats.frames_reclaimed + got;
   if got > 0 then Tr.reclaim ~container:(Container.id container) ~frames:got ~forced:false;
   got
+
+(* The queue a page currently sits on, resolved against this container:
+   its three standard queues first, then any queue parked in a user
+   operand slot.  [None] when the page is off-queue or on a queue this
+   container cannot reach. *)
+let container_queue_of_page container page =
+  match Vm_page.on_queue page with
+  | None -> None
+  | Some qid -> (
+      let std =
+        [
+          Container.free_queue container;
+          Container.inactive_queue container;
+          Container.active_queue container;
+        ]
+      in
+      match List.find_opt (fun q -> Page_queue.id q = qid) std with
+      | Some _ as found -> found
+      | None ->
+          let ops = Container.operands container in
+          let found = ref None in
+          for ix = 0 to Operand.size - 1 do
+            if !found = None then
+              match Operand.get ops ix with
+              | Some (Operand.Queue q) when Page_queue.id q = qid -> found := Some q
+              | _ -> ()
+          done;
+          !found)
 
 (* Seize one frame from the container: a free slot if any, otherwise a
    resident page (inactive, then active queue, then anything bound). *)
@@ -159,10 +198,11 @@ let seize_one t container ~flush_dirty =
                 (Container.obj container);
               match !found with
               | Some page ->
-                  (match Vm_page.on_queue page with
-                  | Some _ ->
-                      (* resident and queued: queues were drained above *)
-                      ()
+                  (* The container queues were drained above, so the page
+                     should be off-queue — but never free a frame while a
+                     queue node still points at it: unlink defensively. *)
+                  (match container_queue_of_page container page with
+                  | Some q -> Page_queue.remove q page
                   | None -> ());
                   free_page page;
                   true
@@ -256,6 +296,7 @@ let demote t container ~reason =
     Kernel.clear_manager t.kernel (Container.obj container);
     Container.set_execution_started container None;
     Container.set_degraded container ~reason ~at:(Kernel.now t.kernel);
+    Option.iter (fun e -> Executor.forget e container) t.executor;
     t.stats.demotions <- t.stats.demotions + 1;
     Tr.demote ~container:(Container.id container) ~reason
   end
@@ -275,6 +316,7 @@ let remove_container t container ~flush_dirty =
     t.containers <- List.filter (fun c -> not (same_container container c)) t.containers;
     let rec drain () = if seize_one t container ~flush_dirty then drain () in
     drain ();
+    Option.iter (fun e -> Executor.forget e container) t.executor;
     Kernel.clear_manager t.kernel (Container.obj container)
   end
 
@@ -408,11 +450,18 @@ let admit t container =
     Error
       (Printf.sprintf "frame manager: cannot satisfy minFrame request of %d frames" need)
   else begin
+    (* the pool can still shrink between ensure_free and the
+       allocation: a short grant rejects the admission, never crashes *)
     let got = grant_frames t container need in
-    assert (got = need);
-    t.containers <- t.containers @ [ container ];
-    balance t ~exclude:container;
-    Ok ()
+    if got < need then
+      Error
+        (Printf.sprintf
+           "frame manager: free pool shrank under minFrame request of %d frames" need)
+    else begin
+      t.containers <- t.containers @ [ container ];
+      balance t ~exclude:container;
+      Ok ()
+    end
   end
 
 (* Grant policy (paper: "depending on the number of the remaining free
@@ -445,9 +494,18 @@ let request t container n =
     end
     else begin
       let got = grant_frames t container n in
-      assert (got = n);
-      t.stats.requests_granted <- t.stats.requests_granted + 1;
-      true
+      if got < n then begin
+        (* the pool shrank between ensure_free and the allocation *)
+        t.stats.requests_rejected <- t.stats.requests_rejected + 1;
+        Log.info (fun m ->
+            m "rejected request for %d frames from %a (pool shrank under grant)" n
+              Container.pp container);
+        false
+      end
+      else begin
+        t.stats.requests_granted <- t.stats.requests_granted + 1;
+        true
+      end
     end
   end
 
@@ -497,7 +555,7 @@ let page_fault t container ~fault_va =
 (* Creation: wire the executor's services to this manager              *)
 (* ------------------------------------------------------------------ *)
 
-let create ~kernel ?(burst_fraction = 0.5) ?max_steps () =
+let create ~kernel ?(burst_fraction = 0.5) ?max_steps ?backend () =
   if burst_fraction < 0. || burst_fraction > 1. then
     invalid_arg "Frame_manager.create: burst_fraction outside [0,1]";
   let t =
@@ -530,17 +588,24 @@ let create ~kernel ?(burst_fraction = 0.5) ?max_steps () =
         (fun c page ->
           if Vm_page.is_bound page then Error "Release: page is still bound"
           else begin
-            (match Vm_page.on_queue page with
-            | Some _ ->
-                if Page_queue.mem (Container.free_queue c) page then
-                  Page_queue.remove (Container.free_queue c) page
-                else Page_queue.remove (Container.inactive_queue c) page
-            | None -> ());
-            Frame.Table.free (Kernel.frame_table kernel) (Vm_page.frame page);
-            Container.remove_frames c 1;
-            t.specific_total <- t.specific_total - 1;
-            t.stats.frames_reclaimed <- t.stats.frames_reclaimed + 1;
-            Ok ()
+            let free_it () =
+              Frame.Table.free (Kernel.frame_table kernel) (Vm_page.frame page);
+              Container.remove_frames c 1;
+              t.specific_total <- t.specific_total - 1;
+              t.stats.frames_reclaimed <- t.stats.frames_reclaimed + 1;
+              Ok ()
+            in
+            (* the slot may sit on any of the container's queues — free,
+               inactive, active, or one the policy declared as a user
+               operand — or be parked off-queue in a page register *)
+            match Vm_page.on_queue page with
+            | None -> free_it ()
+            | Some _ -> (
+                match container_queue_of_page c page with
+                | Some q ->
+                    Page_queue.remove q page;
+                    free_it ()
+                | None -> Error "Release: page is on an unknown queue")
           end);
       flush_page = (fun _c page -> flush_bound_page t page);
       resolve_object = (fun oid -> Kernel.resolve_object kernel oid);
@@ -548,6 +613,6 @@ let create ~kernel ?(burst_fraction = 0.5) ?max_steps () =
   in
   t.executor <-
     Some
-      (Executor.create ?max_steps ~engine:(Kernel.engine kernel) ~costs:(Kernel.costs kernel)
-         ~services ());
+      (Executor.create ?max_steps ?backend ~engine:(Kernel.engine kernel)
+         ~costs:(Kernel.costs kernel) ~services ());
   t

@@ -13,11 +13,18 @@ open Hipec_vm
 
 type t
 
-val create : kernel:Kernel.t -> ?burst_fraction:float -> ?max_steps:int -> unit -> t
+val create :
+  kernel:Kernel.t ->
+  ?burst_fraction:float ->
+  ?max_steps:int ->
+  ?backend:Executor.backend ->
+  unit ->
+  t
 (** [burst_fraction] (default 0.5) of the currently free frames becomes
     [partition_burst], as in the paper ("50% of the available free page
     frames after the system starts up").  [max_steps] bounds policy
-    executions (see {!Executor.create}). *)
+    executions and [backend] selects interpretation or compiled
+    execution (see {!Executor.create}). *)
 
 val kernel : t -> Kernel.t
 val executor : t -> Executor.t

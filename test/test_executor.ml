@@ -574,55 +574,72 @@ let test_commands_are_charged () =
   in
   Alcotest.(check int) "dispatch + 2 fetches" expected elapsed
 
+(* Every instruction-level test runs under both execution backends: the
+   interpreter and the compile-once closure backend must be
+   observationally identical, down to the simulated-time charges. *)
+let suites =
+  [
+    ( "arith",
+      [
+        ("all operations", test_arith_ops);
+        ("division by zero", test_arith_division_by_zero);
+        ("count not writable", test_arith_into_count_rejected_statically);
+      ] );
+    ( "control",
+      [
+        ("comp true skips jump", test_comp_true_skips_jump);
+        ("comp false takes jump", test_comp_false_takes_jump);
+        ("all comparison flags", test_comp_all_flags);
+        ("logic ops", test_logic_ops);
+      ] );
+    ( "queues",
+      [
+        ("dequeue/enqueue", test_dequeue_enqueue_roundtrip);
+        ("dequeue empty errors", test_dequeue_empty_is_error);
+        ("enqueue empty page reg errors", test_enqueue_empty_page_reg_is_error);
+        ("emptyq and inq", test_emptyq_and_inq);
+      ] );
+    ( "pages",
+      [
+        ("set/ref/mod", test_set_ref_mod);
+        ("find resident", test_find_resident_page);
+        ("find outside region", test_find_outside_region_fails);
+      ] );
+    ( "manager_ops",
+      [
+        ("request", test_request_grants_onto_free_queue);
+        ("release count", test_release_count);
+        ("flush", test_flush_clears_modify_and_writes);
+      ] );
+    ( "complex",
+      [
+        ("fifo evicts oldest", test_fifo_command_evicts_oldest);
+        ("lru/mru pick by age", test_lru_mru_pick_by_age);
+        ("empty queue graceful", test_complex_on_empty_queue_fails_gracefully);
+      ] );
+    ( "budgets",
+      [
+        ("activation depth", test_activation_depth_limit);
+        ("step budget", test_step_budget_times_out);
+        ("return kinds", test_return_value_kinds);
+        ("commands charged", test_commands_are_charged);
+      ] );
+  ]
+
+let with_backend backend f () =
+  let saved = Executor.default_backend () in
+  Executor.set_default_backend backend;
+  Fun.protect ~finally:(fun () -> Executor.set_default_backend saved) f
+
 let () =
   Alcotest.run "executor"
-    [
-      ( "arith",
-        [
-          Alcotest.test_case "all operations" `Quick test_arith_ops;
-          Alcotest.test_case "division by zero" `Quick test_arith_division_by_zero;
-          Alcotest.test_case "count not writable" `Quick
-            test_arith_into_count_rejected_statically;
-        ] );
-      ( "control",
-        [
-          Alcotest.test_case "comp true skips jump" `Quick test_comp_true_skips_jump;
-          Alcotest.test_case "comp false takes jump" `Quick test_comp_false_takes_jump;
-          Alcotest.test_case "all comparison flags" `Quick test_comp_all_flags;
-          Alcotest.test_case "logic ops" `Quick test_logic_ops;
-        ] );
-      ( "queues",
-        [
-          Alcotest.test_case "dequeue/enqueue" `Quick test_dequeue_enqueue_roundtrip;
-          Alcotest.test_case "dequeue empty errors" `Quick test_dequeue_empty_is_error;
-          Alcotest.test_case "enqueue empty page reg errors" `Quick
-            test_enqueue_empty_page_reg_is_error;
-          Alcotest.test_case "emptyq and inq" `Quick test_emptyq_and_inq;
-        ] );
-      ( "pages",
-        [
-          Alcotest.test_case "set/ref/mod" `Quick test_set_ref_mod;
-          Alcotest.test_case "find resident" `Quick test_find_resident_page;
-          Alcotest.test_case "find outside region" `Quick test_find_outside_region_fails;
-        ] );
-      ( "manager_ops",
-        [
-          Alcotest.test_case "request" `Quick test_request_grants_onto_free_queue;
-          Alcotest.test_case "release count" `Quick test_release_count;
-          Alcotest.test_case "flush" `Quick test_flush_clears_modify_and_writes;
-        ] );
-      ( "complex",
-        [
-          Alcotest.test_case "fifo evicts oldest" `Quick test_fifo_command_evicts_oldest;
-          Alcotest.test_case "lru/mru pick by age" `Quick test_lru_mru_pick_by_age;
-          Alcotest.test_case "empty queue graceful" `Quick
-            test_complex_on_empty_queue_fails_gracefully;
-        ] );
-      ( "budgets",
-        [
-          Alcotest.test_case "activation depth" `Quick test_activation_depth_limit;
-          Alcotest.test_case "step budget" `Quick test_step_budget_times_out;
-          Alcotest.test_case "return kinds" `Quick test_return_value_kinds;
-          Alcotest.test_case "commands charged" `Quick test_commands_are_charged;
-        ] );
-    ]
+    (List.concat_map
+       (fun backend ->
+         List.map
+           (fun (group, cases) ->
+             ( Printf.sprintf "%s(%s)" group (Executor.backend_name backend),
+               List.map
+                 (fun (name, f) -> Alcotest.test_case name `Quick (with_backend backend f))
+                 cases ))
+           suites)
+       [ Executor.Interp; Executor.Compiled ])

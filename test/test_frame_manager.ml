@@ -1,0 +1,380 @@
+(* Regression tests for the frame manager's executor services and
+   seizure path:
+
+   - Release of a page slot sitting on the ACTIVE queue (or on a queue
+     the policy declared as a user operand) used to raise
+     [Invalid_argument "remove of absent page"] inside the service,
+     demoting a perfectly legal policy.  The service must unlink the
+     slot from whichever container queue holds it and free the frame.
+
+   - admit/request used to [assert] that the frame grant was complete;
+     a short allocation (the pool shrinking under the pageout reserve)
+     crashed the simulation.  Both must reject gracefully instead,
+     counted in [requests_rejected].
+
+   - seize_one's off-queue scan ignored pages still linked on a
+     user-declared queue, freeing their frames while the queue node
+     still pointed at them — corrupting the queue.  Forced reclamation
+     must unlink before freeing; the auditor's sweep stays clean. *)
+
+open Hipec_core
+open Hipec_vm
+module Frame = Hipec_machine.Frame
+module Std = Operand.Std
+open Program.Asm
+
+let x_slot = Std.first_user
+let r_slot = Std.first_user + 1
+let uq_slot = Std.first_user + 2
+let probe_event = 2
+
+type harness = {
+  kernel : Kernel.t;
+  sys : Api.t;
+  container : Container.t;
+  x : int ref;
+  user_q : Page_queue.t;
+}
+
+let asm items =
+  match Program.Asm.assemble items with Ok code -> code | Error e -> failwith e
+
+(* A system whose policy has the standard PageFault/ReclaimFrame pair
+   plus the probe event under test, and a user-declared queue. *)
+let make ?(x = 0) ?(r = 1) ?(min_frames = 8) ?(total_frames = 256) probe_code =
+  let rx = ref x and rr = ref r in
+  let user_q = Page_queue.create "user-q" in
+  let program =
+    Program.make
+      [
+        ( Events.page_fault,
+          asm
+            [
+              Op (Instr.Emptyq Std.free_queue);
+              Jump_to "take";
+              Op (Instr.Fifo Std.active_queue);
+              Jump_to "take";
+              Label "take";
+              Op (Instr.Dequeue (Std.page_reg, Std.free_queue, Opcode.Queue_end.Head));
+              Op (Instr.Return Std.page_reg);
+            ] );
+        (Events.reclaim_frame, [| Instr.Return Std.null |]);
+        (probe_event, probe_code);
+      ]
+  in
+  let config = { Kernel.default_config with Kernel.total_frames; hipec_kernel = true } in
+  let kernel = Kernel.create ~config () in
+  let sys = Api.init ~start_checker:false kernel in
+  let task = Kernel.create_task kernel () in
+  let spec =
+    {
+      (Api.default_spec ~policy:program ~min_frames) with
+      Api.extra_operands =
+        [
+          (x_slot, Operand.Int rx);
+          (r_slot, Operand.Int rr);
+          (uq_slot, Operand.Queue user_q);
+        ];
+    }
+  in
+  match Api.vm_allocate_hipec sys task ~npages:32 spec with
+  | Error e -> failwith ("harness: " ^ e)
+  | Ok (_region, container) -> { kernel; sys; container; x = rx; user_q }
+
+let run h = Frame_manager.run_event (Api.manager h.sys) h.container ~event:probe_event
+
+let fill_active h n =
+  let region = Container.region h.container in
+  for i = 0 to n - 1 do
+    Kernel.access_vpn h.kernel (Container.task h.container)
+      ~vpn:(region.Vm_map.start_vpn + i) ~write:false
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Release of a slot on any container queue                            *)
+(* ------------------------------------------------------------------ *)
+
+(* park a free slot on [dst], then Release it through the service *)
+let release_probe dst =
+  asm
+    [
+      Op (Instr.Dequeue (Std.page_reg, Std.free_queue, Opcode.Queue_end.Head));
+      Op (Instr.Enqueue (Std.page_reg, dst, Opcode.Queue_end.Tail));
+      Op (Instr.Release Std.page_reg);
+      Jump_to "failed";
+      Op (Instr.Return Std.null);
+      Label "failed";
+      Op (Instr.Return Std.page_reg);
+    ]
+
+let check_release_on dst queue_of () =
+  let h = make (release_probe dst) in
+  let before = Container.frames_held h.container in
+  (match run h with
+  | Executor.Returned _ -> ()
+  | Executor.Runtime_error e -> Alcotest.fail ("service raised: " ^ e)
+  | Executor.Timed_out -> Alcotest.fail "timed out");
+  Alcotest.(check bool) "policy not demoted" false (Container.degraded h.container);
+  Alcotest.(check int) "one frame released" (before - 1)
+    (Container.frames_held h.container);
+  let q = queue_of h in
+  Alcotest.(check int)
+    (Printf.sprintf "queue %s empty again" (Page_queue.name q))
+    0 (Page_queue.length q);
+  Alcotest.(check bool) "queue invariants" true (Page_queue.check_invariants q);
+  Alcotest.(check bool) "frames conserved" true
+    (Frame.Table.check_conservation (Kernel.frame_table h.kernel))
+
+let test_release_on_inactive =
+  check_release_on Std.inactive_queue (fun h -> Container.inactive_queue h.container)
+
+let test_release_on_active =
+  check_release_on Std.active_queue (fun h -> Container.active_queue h.container)
+
+let test_release_on_user_queue = check_release_on uq_slot (fun h -> h.user_q)
+
+let test_release_off_queue () =
+  (* a slot parked only in the page register: nothing to unlink *)
+  let h =
+    make
+      (asm
+         [
+           Op (Instr.Dequeue (Std.page_reg, Std.free_queue, Opcode.Queue_end.Head));
+           Op (Instr.Release Std.page_reg);
+           Jump_to "failed";
+           Op (Instr.Return Std.null);
+           Label "failed";
+           Op (Instr.Return Std.page_reg);
+         ])
+  in
+  let before = Container.frames_held h.container in
+  (match run h with
+  | Executor.Returned _ -> ()
+  | Executor.Runtime_error e -> Alcotest.fail ("service raised: " ^ e)
+  | Executor.Timed_out -> Alcotest.fail "timed out");
+  Alcotest.(check bool) "policy not demoted" false (Container.degraded h.container);
+  Alcotest.(check int) "one frame released" (before - 1)
+    (Container.frames_held h.container)
+
+(* ------------------------------------------------------------------ *)
+(* Graceful rejection when the pool cannot cover a grant               *)
+(* ------------------------------------------------------------------ *)
+
+let test_alloc_many_returns_partial () =
+  (* the trigger: alloc_many is not all-or-nothing, so grant callers
+     must never assume a full grant *)
+  let tbl = Frame.Table.create ~total:4 in
+  let frames = Frame.Table.alloc_many tbl 8 in
+  Alcotest.(check int) "short allocation" 4 (List.length frames);
+  List.iter (Frame.Table.free tbl) frames;
+  Alcotest.(check bool) "conserved" true (Frame.Table.check_conservation tbl)
+
+let test_admit_beyond_memory_rejects () =
+  let config =
+    { Kernel.default_config with Kernel.total_frames = 64; hipec_kernel = true }
+  in
+  let kernel = Kernel.create ~config () in
+  let sys = Api.init ~start_checker:false kernel in
+  let task = Kernel.create_task kernel () in
+  let spec = Api.default_spec ~policy:(Policies.fifo ()) ~min_frames:1000 in
+  (match Api.vm_allocate_hipec sys task ~npages:8 spec with
+  | Ok _ -> Alcotest.fail "admission beyond physical memory must fail"
+  | Error _ -> ());
+  Alcotest.(check bool) "task survives" true (Task.alive task);
+  Alcotest.(check bool) "frames conserved" true
+    (Frame.Table.check_conservation (Kernel.frame_table kernel))
+
+let test_request_under_pressure_rejects () =
+  let h =
+    make ~total_frames:64
+      (asm
+         [
+           (* 255 is the largest encodable request — far over a
+              64-frame machine *)
+           Op (Instr.Request 255);
+           Jump_to "rejected";
+           Op (Instr.Return Std.null);
+           Label "rejected";
+           Op (Instr.Arith (x_slot, x_slot, Opcode.Arith_op.Inc));
+           Op (Instr.Return Std.null);
+         ])
+  in
+  let manager = Api.manager h.sys in
+  let rejected_before = (Frame_manager.stats manager).Frame_manager.requests_rejected in
+  let held_before = Container.frames_held h.container in
+  (match run h with
+  | Executor.Returned _ -> ()
+  | Executor.Runtime_error e -> Alcotest.fail ("request crashed the policy: " ^ e)
+  | Executor.Timed_out -> Alcotest.fail "timed out");
+  Alcotest.(check int) "rejected arm ran" 1 !(h.x);
+  Alcotest.(check int) "rejection counted" (rejected_before + 1)
+    (Frame_manager.stats manager).Frame_manager.requests_rejected;
+  Alcotest.(check int) "no frames granted" held_before
+    (Container.frames_held h.container);
+  Alcotest.(check bool) "policy not demoted" false (Container.degraded h.container);
+  Alcotest.(check bool) "frames conserved" true
+    (Frame.Table.check_conservation (Kernel.frame_table h.kernel))
+
+(* ------------------------------------------------------------------ *)
+(* Forced seizure of pages parked on a user-declared queue             *)
+(* ------------------------------------------------------------------ *)
+
+let test_forced_seize_unlinks_user_queue () =
+  (* the probe migrates one resident page from active to the user
+     queue, where the standard drain in seize_one cannot see it *)
+  let h =
+    make
+      (asm
+         [
+           Op (Instr.Emptyq Std.active_queue);
+           Jump_to "go";
+           Jump_to "end";
+           Label "go";
+           Op (Instr.Dequeue (Std.page_reg, Std.active_queue, Opcode.Queue_end.Head));
+           Op (Instr.Enqueue (Std.page_reg, uq_slot, Opcode.Queue_end.Tail));
+           Label "end";
+           Op (Instr.Return Std.null);
+         ])
+  in
+  fill_active h 3;
+  (match run h with
+  | Executor.Returned _ -> ()
+  | _ -> Alcotest.fail "probe failed");
+  (match run h with
+  | Executor.Returned _ -> ()
+  | _ -> Alcotest.fail "probe failed");
+  Alcotest.(check int) "two pages parked on the user queue" 2
+    (Page_queue.length h.user_q);
+  let manager = Api.manager h.sys in
+  let held = Container.frames_held h.container in
+  let got = Frame_manager.forced_reclaim manager ~need:held ~exclude:None in
+  Alcotest.(check int) "every frame seized" held got;
+  Alcotest.(check int) "container stripped" 0 (Container.frames_held h.container);
+  (* no queue node may point at a freed frame *)
+  Alcotest.(check int) "user queue unlinked" 0 (Page_queue.length h.user_q);
+  List.iter
+    (fun q ->
+      Alcotest.(check bool)
+        (Page_queue.name q ^ " invariants")
+        true (Page_queue.check_invariants q))
+    [
+      h.user_q;
+      Container.free_queue h.container;
+      Container.inactive_queue h.container;
+      Container.active_queue h.container;
+    ];
+  Alcotest.(check bool) "frames conserved" true
+    (Frame.Table.check_conservation (Kernel.frame_table h.kernel));
+  let auditor = Audit.create ~raise_on_violation:false h.kernel in
+  Audit.register_queue auditor h.user_q;
+  Audit.register_queue auditor (Container.free_queue h.container);
+  Audit.register_queue auditor (Container.inactive_queue h.container);
+  Audit.register_queue auditor (Container.active_queue h.container);
+  Alcotest.(check (list string)) "audit sweep clean" []
+    (List.map (fun v -> v.Audit.check) (Audit.sweep auditor))
+
+(* ------------------------------------------------------------------ *)
+(* Property: the services never leak a kernel Invalid_argument         *)
+(* ------------------------------------------------------------------ *)
+
+(* Random checker-accepted programs hammering the fixed services —
+   Release of slots parked on arbitrary queues, frame requests and
+   count releases under a small physical memory — must never produce a
+   "kernel check failed" runtime error (the executor's wrapping of
+   [Invalid_argument]). *)
+
+let pressure_snippet n choice =
+  let l s = Printf.sprintf "s%d_%s" n s in
+  match choice mod 5 with
+  | 0 | 1 | 2 ->
+      (* guarded: free slot -> some queue -> Release *)
+      let dst =
+        match choice mod 5 with
+        | 0 -> Std.inactive_queue
+        | 1 -> Std.active_queue
+        | _ -> uq_slot
+      in
+      [
+        Op (Instr.Emptyq Std.free_queue);
+        Jump_to (l "go");
+        Jump_to (l "end");
+        Label (l "go");
+        Op (Instr.Dequeue (Std.page_reg, Std.free_queue, Opcode.Queue_end.Head));
+        Op (Instr.Enqueue (Std.page_reg, dst, Opcode.Queue_end.Tail));
+        Op (Instr.Release Std.page_reg);
+        Jump_to (l "end");
+        Label (l "end");
+      ]
+  | 3 -> [ Op (Instr.Request ((choice / 5 mod 3) + 1)); Jump_to (l "end"); Label (l "end") ]
+  | _ -> [ Op (Instr.Release r_slot); Jump_to (l "end"); Label (l "end") ]
+
+let print_pressure (choices, faults) =
+  Printf.sprintf "faults=%d snippets=[%s]" faults
+    (String.concat ";" (List.map string_of_int choices))
+
+let pressure_gen st =
+  let open QCheck.Gen in
+  let n = 1 + int_bound 6 st in
+  (List.init n (fun _ -> int_bound 29 st), 1 + int_bound 6 st)
+
+let no_kernel_failure_prop =
+  QCheck.Test.make
+    ~name:"checker-accepted programs never trip a kernel check" ~count:60
+    (QCheck.make ~print:print_pressure pressure_gen)
+    (fun (choices, faults) ->
+      let code =
+        asm
+          (List.concat (List.mapi pressure_snippet choices)
+          @ [ Op (Instr.Return Std.null) ])
+      in
+      let h = make ~total_frames:64 ~min_frames:4 code in
+      let contains ~sub s =
+        let n = String.length sub in
+        let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      let check_outcome = function
+        | Executor.Runtime_error e when contains ~sub:"kernel check failed" e ->
+            QCheck.Test.fail_reportf "kernel check leaked: %s" e
+        | _ -> ()
+      in
+      (try
+         for i = 0 to faults - 1 do
+           if not (Container.degraded h.container) then begin
+             check_outcome (run h);
+             if not (Container.degraded h.container) then fill_active h (1 + (i mod 3))
+           end
+         done
+       with Invalid_argument e ->
+         QCheck.Test.fail_reportf "Invalid_argument escaped: %s" e);
+      Alcotest.(check bool) "frames conserved" true
+        (Frame.Table.check_conservation (Kernel.frame_table h.kernel));
+      true)
+
+let () =
+  Alcotest.run "frame_manager"
+    [
+      ( "release",
+        [
+          Alcotest.test_case "slot on the inactive queue" `Quick test_release_on_inactive;
+          Alcotest.test_case "slot on the active queue" `Quick test_release_on_active;
+          Alcotest.test_case "slot on a user-declared queue" `Quick
+            test_release_on_user_queue;
+          Alcotest.test_case "slot parked off-queue" `Quick test_release_off_queue;
+        ] );
+      ( "grants",
+        [
+          Alcotest.test_case "alloc_many is not all-or-nothing" `Quick
+            test_alloc_many_returns_partial;
+          Alcotest.test_case "admission beyond memory rejects" `Quick
+            test_admit_beyond_memory_rejects;
+          Alcotest.test_case "request under pressure rejects" `Quick
+            test_request_under_pressure_rejects;
+        ] );
+      ( "seizure",
+        [
+          Alcotest.test_case "forced seize unlinks user queues" `Quick
+            test_forced_seize_unlinks_user_queue;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest no_kernel_failure_prop ]);
+    ]
