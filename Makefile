@@ -1,4 +1,4 @@
-.PHONY: all test bench examples clean quick-bench chaos oracle golden backend-bench ci
+.PHONY: all test bench examples clean quick-bench chaos oracle golden backend-bench metrics-bench ci
 
 all:
 	dune build @all
@@ -22,10 +22,14 @@ golden:
 backend-bench:
 	dune exec bench/main.exe -- backend --quick
 
+# per-scenario latency percentile tables; rewrites BENCH_4.json
+metrics-bench:
+	dune exec bench/main.exe -- metrics
+
 # What CI runs: full build, the whole test suite (which includes the
 # oracle and golden suites), the chaos acceptance checks at smoke
 # scale, and the backend equivalence bench.
-ci: all test oracle golden chaos backend-bench
+ci: all test oracle golden chaos backend-bench metrics-bench
 
 bench:
 	dune exec bench/main.exe

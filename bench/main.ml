@@ -605,6 +605,80 @@ let backend_bench ~quick () =
   Printf.printf "\n  wrote %s\n\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Metrics: per-scenario latency percentile tables (BENCH_4.json)      *)
+(* ------------------------------------------------------------------ *)
+
+module Mx = Hipec_metrics.Metrics
+module St = Hipec_sim.Stats
+
+(* Every scenario runs once under a fresh metrics registry; the
+   percentile tables come straight out of the log-bucketed latency
+   histograms the kernel's emit sites populate. *)
+let metrics_bench ~quick:_ () =
+  header "Metrics: fault-service latency percentiles per scenario (BENCH_4.json)";
+  let scenarios = [ "policy"; "join-small"; "aim-small"; "chaos-smoke" ] in
+  let rows =
+    List.map
+      (fun name ->
+        let scenario =
+          match Trace_run.scenario_of_name name with
+          | Some s -> s
+          | None -> failwith ("unknown scenario " ^ name)
+        in
+        let reg = Mx.install () in
+        let result =
+          Fun.protect
+            ~finally:(fun () -> ignore (Mx.uninstall ()))
+            (fun () -> Trace_run.run_scenario scenario)
+        in
+        (match result with Ok () -> () | Error e -> failwith (name ^ ": " ^ e));
+        (name, reg))
+      scenarios
+  in
+  let pct h p = int_of_float (St.Histogram.percentile h p) in
+  List.iter
+    (fun (name, reg) ->
+      Printf.printf "\n  %s (%d faults)\n" name
+        (Option.value (Mx.Registry.counter_value reg "vm.fault.count") ~default:0);
+      Printf.printf "    %-26s %8s %12s %12s %12s %12s\n" "latency histogram (ns)" "n" "p50"
+        "p90" "p99" "max";
+      List.iter
+        (fun (hname, h) ->
+          if St.Histogram.count h > 0 then
+            Printf.printf "    %-26s %8d %12d %12d %12d %12d\n" hname (St.Histogram.count h)
+              (pct h 50.) (pct h 90.) (pct h 99.)
+              (int_of_float (St.Histogram.max h)))
+        (Mx.Registry.histogram_list reg))
+    rows;
+  let path = "BENCH_4.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"bench\": \"metrics\",\n  \"scenarios\": [\n";
+      List.iteri
+        (fun i (name, reg) ->
+          Printf.fprintf oc "    { \"name\": \"%s\",\n      \"faults\": %d,\n      \"latency_ns\": {" name
+            (Option.value (Mx.Registry.counter_value reg "vm.fault.count") ~default:0);
+          let first = ref true in
+          List.iter
+            (fun (hname, h) ->
+              if St.Histogram.count h > 0 then begin
+                if not !first then Printf.fprintf oc ",";
+                first := false;
+                Printf.fprintf oc
+                  "\n        \"%s\": { \"count\": %d, \"p50\": %d, \"p90\": %d, \"p99\": %d, \
+                   \"max\": %d }"
+                  hname (St.Histogram.count h) (pct h 50.) (pct h 90.) (pct h 99.)
+                  (int_of_float (St.Histogram.max h))
+              end)
+            (Mx.Registry.histogram_list reg);
+          Printf.fprintf oc "\n      } }%s\n" (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n}\n");
+  Printf.printf "\n  wrote %s\n\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: wall-clock micro-benchmarks of this implementation        *)
 (* ------------------------------------------------------------------ *)
 
@@ -701,6 +775,7 @@ let all_benches =
     ("mechanism", mechanism);
     ("chaos", chaos);
     ("backend", backend_bench);
+    ("metrics", metrics_bench);
     ("bechamel", bechamel);
   ]
 
@@ -730,8 +805,13 @@ let () =
   in
   let quick = List.mem "--quick" args || List.mem "--smoke" args in
   let trace = List.mem "--trace" args in
+  (* --metrics: run the percentile-table bench (BENCH_4.json) after the
+     selected benches, whatever they are *)
+  let metrics = List.mem "--metrics" args in
   let selected =
-    List.filter (fun a -> a <> "--quick" && a <> "--smoke" && a <> "--trace" && a <> "--")
+    List.filter
+      (fun a ->
+        a <> "--quick" && a <> "--smoke" && a <> "--trace" && a <> "--metrics" && a <> "--")
       args
   in
   let to_run =
@@ -751,6 +831,11 @@ let () =
   (* --trace: collect the structured event stream across every selected
      bench and report the per-category totals and stream digest at the
      end — the cheap way to see what a figure actually exercised. *)
+  let to_run =
+    if metrics && not (List.exists (fun (n, _) -> n = "metrics") to_run) then
+      to_run @ [ ("metrics", metrics_bench) ]
+    else to_run
+  in
   let collector = if trace then Some (Hipec_trace.Trace.start ()) else None in
   List.iter (fun (_, f) -> f ~quick ()) to_run;
   match collector with

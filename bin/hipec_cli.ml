@@ -582,6 +582,199 @@ let trace_cmd =
     [ trace_run_cmd; trace_record_cmd; trace_replay_cmd; trace_diff_cmd; trace_export_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* stat                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Mx = Hipec_metrics.Metrics
+
+let opcode_label code =
+  match Opcode.of_code code with
+  | Some op -> Opcode.name op
+  | None -> Printf.sprintf "op%02x" code
+
+let scenario_name = function
+  | Trace_run.Named n -> n
+  | Trace_run.Policy cfg ->
+      Printf.sprintf "policy:%s/%s" cfg.Trace_run.pattern cfg.Trace_run.policy
+
+let backend_totals reg b =
+  Mx.Registry.profile_totals reg ~backend:(Executor.backend_name b)
+
+(* With both backends profiled, their per-opcode simulated attributions
+   must be cell-for-cell identical: the boundary timers sit at the same
+   simulated instants in the interpreter and the compiled prologue.
+   [None] when fewer than two backends ran. *)
+let sim_totals_agree reg backends =
+  match List.map (backend_totals reg) backends with
+  | [ Some (ca, oa, _); Some (cb, ob, _) ] ->
+      let agree = ref (oa.Mx.Profile.sim_ns = ob.Mx.Profile.sim_ns) in
+      Array.iteri
+        (fun i (c : Mx.Profile.cell) ->
+          let d = cb.(i) in
+          if c.Mx.Profile.count <> d.Mx.Profile.count
+             || c.Mx.Profile.sim_ns <> d.Mx.Profile.sim_ns
+          then agree := false)
+        ca;
+      Some !agree
+  | _ -> None
+
+let print_stat_tables reg backends =
+  print_endline "metrics";
+  List.iter
+    (fun (name, v) -> Printf.printf "  %-34s %s\n" name v)
+    (Mx.Registry.kstat_lines reg);
+  List.iter
+    (fun b ->
+      match backend_totals reg b with
+      | None -> ()
+      | Some (cells, overhead, runs) ->
+          Printf.printf "\nopcode profile (%s backend, %d runs)\n"
+            (Executor.backend_name b) runs;
+          Printf.printf "  %-10s %10s %14s %14s\n" "op" "count" "sim_ns" "wall_ns";
+          Array.iteri
+            (fun i (c : Mx.Profile.cell) ->
+              if c.Mx.Profile.count > 0 then
+                Printf.printf "  %-10s %10d %14d %14d\n" (opcode_label i)
+                  c.Mx.Profile.count c.Mx.Profile.sim_ns c.Mx.Profile.wall_ns)
+            cells;
+          Printf.printf "  %-10s %10d %14d %14d\n" "(overhead)"
+            overhead.Mx.Profile.count overhead.Mx.Profile.sim_ns
+            overhead.Mx.Profile.wall_ns)
+    backends
+
+let print_stat_watch reg =
+  List.iter
+    (fun s ->
+      let pts = Mx.Series.points s in
+      Printf.printf "\n%s (tick %d ms, %d points%s)\n" (Mx.Series.name s)
+        (Mx.Series.tick_ns s / 1_000_000)
+        (Array.length pts)
+        (if Mx.Series.dropped s > 0 then
+           Printf.sprintf ", %d dropped" (Mx.Series.dropped s)
+         else "");
+      Printf.printf "  %12s %12s\n" "sim ms" "value";
+      Array.iter
+        (fun (tns, v) -> Printf.printf "  %12.1f %12d\n" (float_of_int tns /. 1e6) v)
+        pts)
+    (Mx.Registry.series_list reg)
+
+let stat_cmd =
+  let backends =
+    let backend_set =
+      Arg.conv
+        ( (function
+          | "interp" -> Ok [ Executor.Interp ]
+          | "compiled" -> Ok [ Executor.Compiled ]
+          | "both" -> Ok [ Executor.Interp; Executor.Compiled ]
+          | s ->
+              Error (`Msg (Printf.sprintf "unknown backend %S (interp|compiled|both)" s))),
+          fun fmt bs ->
+            Format.pp_print_string fmt
+              (match bs with
+              | [ Executor.Interp ] -> "interp"
+              | [ Executor.Compiled ] -> "compiled"
+              | _ -> "both") )
+    in
+    Arg.(value & opt backend_set [ Executor.Interp; Executor.Compiled ]
+        & info [ "backend" ] ~docv:"B"
+            ~doc:
+              "Policy execution engines to run and profile: \
+               $(b,interp)|$(b,compiled)|$(b,both).  With $(b,both) the per-opcode \
+               simulated-cycle attributions must agree cell for cell; a mismatch \
+               exits nonzero.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the metrics snapshot as JSON.")
+  in
+  let prom =
+    Arg.(value & flag
+        & info [ "prom" ] ~doc:"Emit the snapshot in Prometheus text exposition format.")
+  in
+  let watch =
+    Arg.(value & flag
+        & info [ "watch" ]
+            ~doc:
+              "Append watch-style interval tables: each sim-tick time series printed \
+               as (sim ms, value) rows.")
+  in
+  let tick =
+    Arg.(value & opt int 10
+        & info [ "tick" ] ~docv:"MS"
+            ~doc:"Time-series sampling tick in simulated milliseconds.")
+  in
+  let run scenario backends json prom watch tick =
+    match scenario with
+    | Error e ->
+        Printf.eprintf "%s\n" e;
+        2
+    | Ok scenario ->
+        if tick < 1 then begin
+          Printf.eprintf "--tick must be >= 1\n";
+          2
+        end
+        else begin
+          (* One registry across all runs: counters and histograms
+             aggregate over every backend's run, while opcode profiles
+             stay separate (keyed by backend). *)
+          let saved = Executor.default_backend () in
+          let reg = Mx.install ~tick_ns:(tick * 1_000_000) () in
+          let outcome =
+            Fun.protect
+              ~finally:(fun () ->
+                ignore (Mx.uninstall ());
+                Executor.set_default_backend saved)
+              (fun () ->
+                List.fold_left
+                  (fun acc b ->
+                    match acc with
+                    | Error _ as e -> e
+                    | Ok () ->
+                        Executor.set_default_backend b;
+                        Trace_run.run_scenario scenario)
+                  (Ok ()) backends)
+          in
+          match outcome with
+          | Error e ->
+              Printf.eprintf "scenario failed: %s\n" e;
+              1
+          | Ok () ->
+              let agree = sim_totals_agree reg backends in
+              if json then
+                Printf.printf "{\"scenario\":%S,\"sim_totals_equal\":%s,\"metrics\":%s}\n"
+                  (scenario_name scenario)
+                  (match agree with
+                  | Some b -> string_of_bool b
+                  | None -> "null")
+                  (Mx.Registry.to_json ~opcode_name:opcode_label reg)
+              else if prom then print_string (Mx.Registry.to_prom ~opcode_name:opcode_label reg)
+              else begin
+                Printf.printf "scenario %s\n\n" (scenario_name scenario);
+                print_stat_tables reg backends;
+                (match agree with
+                | Some true ->
+                    print_endline "\nper-opcode simulated totals: backends agree"
+                | Some false ->
+                    print_endline "\nper-opcode simulated totals: BACKEND MISMATCH"
+                | None -> ());
+                if watch then print_stat_watch reg
+              end;
+              (match agree with
+              | Some false ->
+                  Printf.eprintf
+                    "interp and compiled disagree on per-opcode simulated cycles\n";
+                  1
+              | _ -> 0)
+        end
+  in
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:
+         "Run a scenario under the metrics registry and print the snapshot: counters, \
+          gauges, latency histogram percentiles, sim-tick time series and the \
+          per-opcode executor profile for each backend.")
+    Term.(const run $ scenario_args $ backends $ json $ prom $ watch $ tick)
+
+(* ------------------------------------------------------------------ *)
 (* chaos                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -653,5 +846,5 @@ let () =
        (Cmd.group ~default info
           [
             translate_cmd; check_cmd; assemble_cmd; disassemble_cmd; advise_cmd; join_cmd;
-            aim_cmd; table3_cmd; table4_cmd; trace_cmd; chaos_cmd;
+            aim_cmd; table3_cmd; table4_cmd; trace_cmd; stat_cmd; chaos_cmd;
           ]))

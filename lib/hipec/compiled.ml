@@ -14,8 +14,14 @@ type exec = Value of Operand.value option | Err of string | Tout
 
 (* Mutable state of one top-level [run].  The step budget and the
    activation depth are shared across nested [Activate] frames, exactly
-   like the interpreter's [steps] ref and [depth] argument. *)
-type rt = { mutable steps : int; mutable depth : int }
+   like the interpreter's [steps] ref and [depth] argument.  [prof] is
+   the per-opcode profiler's boundary-timer state: [None] (one load and
+   branch per step) unless a metrics registry is installed. *)
+type rt = {
+  mutable steps : int;
+  mutable depth : int;
+  prof : Hipec_metrics.Metrics.Profile.run option;
+}
 
 type code = rt -> exec
 
@@ -444,10 +450,18 @@ let compile ~engine ~costs ~max_steps ~max_activation_depth ~services ~counter c
     Array.iteri
       (fun cc instr ->
         let b = body cc instr in
+        (* Opcode index resolved at compile time for the profiler. *)
+        let opc = Opcode.code (Instr.opcode instr) in
         (* The per-step prologue, in the interpreter's exact order:
-           count the step, charge the fetch, then check the budget. *)
+           profiler boundary, count the step, charge the fetch, then
+           check the budget. *)
         table.(cc) <-
           (fun rt ->
+            (match rt.prof with
+            | None -> ()
+            | Some pr ->
+                Hipec_metrics.Metrics.profile_step pr ~opcode:opc
+                  ~sim_ns:(Sim_time.to_ns (Engine.now engine)));
             rt.steps <- rt.steps + 1;
             incr counter;
             Container.count_commands container 1;
@@ -464,9 +478,9 @@ let compile ~engine ~costs ~max_steps ~max_activation_depth ~services ~counter c
     (Program.events (Container.program container));
   { container; engine; dispatch_cost = costs.Costs.hipec_dispatch; entry }
 
-let run t ~event =
+let run ?prof t ~event =
   Container.set_execution_started t.container (Some (Engine.now t.engine));
   Engine.advance t.engine t.dispatch_cost;
-  let rt = { steps = 0; depth = 0 } in
+  let rt = { steps = 0; depth = 0; prof } in
   try t.entry event rt
   with Invalid_argument m -> Err (Printf.sprintf "kernel check failed: %s" m)

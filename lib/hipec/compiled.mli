@@ -60,10 +60,12 @@ val compile :
     owning executor's global command counter, bumped once per step
     exactly like the interpreter's. *)
 
-val run : t -> event:int -> exec
+val run : ?prof:Hipec_metrics.Metrics.Profile.run -> t -> event:int -> exec
 (** Execute the compiled handler for [event]: stamps
     [execution_started], charges [hipec_dispatch] once plus
     [hipec_fetch_decode] per command, and converts any
     [Invalid_argument] escaping a kernel service into an [Err] — all
     mirroring the interpreter.  The caller clears the timestamp when
-    mapping [Value]/[Err] to an outcome. *)
+    mapping [Value]/[Err] to an outcome.  [prof] threads the per-opcode
+    profiler's boundary-timer state through the step prologues; the
+    profiler only observes the simulation, it never advances it. *)

@@ -85,7 +85,9 @@ type exec = Compiled.exec = Value of Operand.value option | Err of string | Tout
 
 let ( let* ) r k = match r with Ok v -> k v | Error e -> Err e
 
-let run_interp t container ~event =
+module Mx = Hipec_metrics.Metrics
+
+let run_interp t container ~event ~prof =
   let ops = Container.operands container in
   let free_q = Container.free_queue container in
   let charge d = Engine.advance t.engine d in
@@ -157,13 +159,22 @@ let run_interp t container ~event =
             if cc < 0 || cc >= len then
               Err (Printf.sprintf "%s: control ran past CC %d" (Events.name event) cc)
             else begin
+              let instr = code.(cc) in
+              (* Profiler boundary, matching the compiled prologue:
+                 the interval since the previous fetch is attributed to
+                 the previously fetched opcode. *)
+              (match prof with
+              | None -> ()
+              | Some pr ->
+                  Mx.profile_step pr
+                    ~opcode:(Opcode.code (Instr.opcode instr))
+                    ~sim_ns:(Sim_time.to_ns (Engine.now t.engine)));
               incr steps;
               incr t.counter;
               Container.count_commands container 1;
               charge t.costs.Costs.hipec_fetch_decode;
               if !steps > t.max_steps then Tout
               else begin
-                let instr = code.(cc) in
                 (* Skip-next semantics (paper Table 2): a test command
                    that evaluates TRUE skips the immediately following
                    command — by convention the else-branch Jump — so the
@@ -316,11 +327,24 @@ let run_interp t container ~event =
   with Invalid_argument m -> Err (Printf.sprintf "kernel check failed: %s" m)
 
 let run t container ~event =
+  (* Per-opcode profiling is backend-symmetric: both prologues place the
+     boundary at the same simulated instants, so simulated-cycle totals
+     agree between Interp and Compiled (only wall-ns differs). *)
+  let prof =
+    if Mx.on () then
+      Mx.profile_begin ~backend:(backend_name t.backend)
+        ~container:(Container.id container)
+        ~sim_ns:(Sim_time.to_ns (Engine.now t.engine))
+    else None
+  in
   let result =
     match t.backend with
-    | Interp -> run_interp t container ~event
-    | Compiled -> Compiled.run (compiled_for t container) ~event
+    | Interp -> run_interp t container ~event ~prof
+    | Compiled -> Compiled.run ?prof (compiled_for t container) ~event
   in
+  (match prof with
+  | None -> ()
+  | Some pr -> Mx.profile_end pr ~sim_ns:(Sim_time.to_ns (Engine.now t.engine)));
   match result with
   | Value v ->
       Container.set_execution_started container None;

@@ -26,6 +26,8 @@ type t = {
   stats : stats;
 }
 
+module Mx = Hipec_metrics.Metrics
+
 let kernel t = t.kernel
 let executor t = Option.get t.executor
 let partition_burst t = t.partition_burst
@@ -33,6 +35,22 @@ let set_partition_burst t v = t.partition_burst <- v
 let specific_total t = t.specific_total
 let containers t = t.containers
 let stats t = t.stats
+
+(* Partition accounting gauges: the container's free-list depth and the
+   manager's remaining partition_burst headroom, refreshed wherever
+   frames change hands.  Off the per-instruction hot path, so building
+   the per-container name on each (enabled) emit is fine. *)
+let note_gauges t container =
+  if Mx.on () then begin
+    Mx.gauge_set
+      ("hipec.c"
+      ^ string_of_int (Mx.container_id (Container.id container))
+      ^ ".free_depth")
+      (Page_queue.length (Container.free_queue container));
+    Mx.gauge_set "hipec.manager.specific_total" t.specific_total;
+    Mx.gauge_set "hipec.manager.headroom" (t.partition_burst - t.specific_total);
+    Mx.sample "hipec.manager.headroom.ts" (t.partition_burst - t.specific_total)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Frame movement primitives                                           *)
@@ -102,6 +120,7 @@ let grant_frames t container n =
     t.specific_total <- t.specific_total + got;
     t.stats.frames_granted <- t.stats.frames_granted + got;
     if got > 0 then Tr.grant ~container:(Container.id container) ~frames:got;
+    note_gauges t container;
     got
   end
 
@@ -123,6 +142,7 @@ let take_free_slots t container n =
   t.specific_total <- t.specific_total - got;
   t.stats.frames_reclaimed <- t.stats.frames_reclaimed + got;
   if got > 0 then Tr.reclaim ~container:(Container.id container) ~frames:got ~forced:false;
+  note_gauges t container;
   got
 
 (* The queue a page currently sits on, resolved against this container:
@@ -173,7 +193,8 @@ let seize_one t container ~flush_dirty =
     t.specific_total <- t.specific_total - 1;
     t.stats.frames_reclaimed <- t.stats.frames_reclaimed + 1;
     t.stats.forced_seizures <- t.stats.forced_seizures + 1;
-    Tr.reclaim ~container:(Container.id container) ~frames:1 ~forced:true
+    Tr.reclaim ~container:(Container.id container) ~frames:1 ~forced:true;
+    note_gauges t container
   in
   match Page_queue.dequeue_head (Container.free_queue container) with
   | Some slot ->
@@ -298,7 +319,9 @@ let demote t container ~reason =
     Container.set_degraded container ~reason ~at:(Kernel.now t.kernel);
     Option.iter (fun e -> Executor.forget e container) t.executor;
     t.stats.demotions <- t.stats.demotions + 1;
-    Tr.demote ~container:(Container.id container) ~reason
+    Tr.demote ~container:(Container.id container) ~reason;
+    if Mx.on () then Mx.incr "hipec.manager.demotions";
+    note_gauges t container
   end
 
 let handle_outcome t container outcome =
@@ -593,6 +616,7 @@ let create ~kernel ?(burst_fraction = 0.5) ?max_steps ?backend () =
               Container.remove_frames c 1;
               t.specific_total <- t.specific_total - 1;
               t.stats.frames_reclaimed <- t.stats.frames_reclaimed + 1;
+              note_gauges t c;
               Ok ()
             in
             (* the slot may sit on any of the container's queues — free,

@@ -195,10 +195,21 @@ let spike_delay t =
   end
   else Sim_time.zero
 
+(* Controller introspection: current queue depth (including the request
+   in service) as a gauge plus a sim-tick series. *)
+let note_queue_depth t =
+  if Hipec_metrics.Metrics.on () then begin
+    let qd = List.length t.queue + if t.busy then 1 else 0 in
+    Hipec_metrics.Metrics.gauge_set "machine.disk.queue_depth" qd;
+    Hipec_metrics.Metrics.sample "machine.disk.queue_depth.ts" qd
+  end
+
 let rec start t req =
   t.busy <- true;
   let finish d result =
     t.busy_time <- Sim_time.add t.busy_time d;
+    if Hipec_metrics.Metrics.on () then
+      Hipec_metrics.Metrics.observe "machine.disk.transfer_ns" (Sim_time.to_ns d);
     ignore
       (Engine.schedule t.engine ~after:d (fun engine ->
            (match result with
@@ -209,11 +220,12 @@ let rec start t req =
            Hipec_trace.Trace.disk_io ~block:req.block ~nblocks:req.nblocks
              ~write:req.is_write ~ok:(Result.is_ok result);
            req.on_complete engine result;
-           match List.rev t.queue with
+           (match List.rev t.queue with
            | [] -> t.busy <- false
            | next :: rest ->
                t.queue <- List.rev rest;
-               start t next))
+               start t next);
+           note_queue_depth t))
   in
   match extent_error t ~block:req.block ~nblocks:req.nblocks with
   | Some err ->
@@ -225,7 +237,9 @@ let rec start t req =
       let d = Sim_time.add d (spike_delay t) in
       finish d (fault_outcome t ~is_write:req.is_write ~block:req.block ~nblocks:req.nblocks)
 
-let submit t req = if t.busy then t.queue <- req :: t.queue else start t req
+let submit t req =
+  if t.busy then t.queue <- req :: t.queue else start t req;
+  note_queue_depth t
 
 let submit_read t ~block ~nblocks on_complete =
   submit t { block; nblocks; is_write = false; on_complete }
@@ -245,6 +259,8 @@ let sync_transfer t ~is_write ~block ~nblocks =
         (d, fault_outcome t ~is_write ~block ~nblocks)
   in
   Hipec_trace.Trace.disk_io ~block ~nblocks ~write:is_write ~ok:(Result.is_ok result);
+  if Hipec_metrics.Metrics.on () then
+    Hipec_metrics.Metrics.observe "machine.disk.transfer_ns" (Sim_time.to_ns d);
   (d, result)
 
 let sequential_transfer_time t ~nblocks =

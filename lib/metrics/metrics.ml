@@ -1,0 +1,610 @@
+(* Typed metrics registry for the simulated kernel.
+
+   Mirrors the trace sink's zero-cost-when-disabled design
+   (lib/trace/trace.ml): a global [current] registry plus a cached
+   [enabled] bool, so every emit site in the kernel is a single load and
+   branch when no registry is installed — no closure, no allocation, no
+   hashing.  With a registry installed, emits pay one hashtable lookup
+   on an interned literal name.
+
+   Everything the registry accumulates is split into two worlds:
+
+   - simulated-time fields (counters, gauges, histogram buckets, series
+     points, per-opcode [sim_ns]) are deterministic functions of the
+     simulation and safe to compare byte-for-byte across runs;
+   - wall-clock fields (the profiler's [wall_ns]) are measurements of
+     the host and are kept in clearly segregated fields that every
+     exposition format can omit ([~wall:false]). *)
+
+open Hipec_sim
+
+(* ------------------------------------------------------------------ *)
+(* Simulated-time series *)
+
+module Series = struct
+  (* Fixed-capacity ring of (sim_ns, value) points, downsampled on a
+     configurable sim-tick: a sample is accepted only when at least
+     [tick_ns] of simulated time passed since the last accepted one, so
+     identical runs produce identical point sets. *)
+  type t = {
+    name : string;
+    tick_ns : int;
+    times : int array;
+    values : int array;
+    mutable head : int;  (* index of oldest point *)
+    mutable len : int;
+    mutable last_ns : int;  (* min_int = no sample yet *)
+    mutable dropped : int;  (* oldest points evicted by the ring *)
+  }
+
+  let create ~tick_ns ~cap name =
+    {
+      name;
+      tick_ns;
+      times = Array.make cap 0;
+      values = Array.make cap 0;
+      head = 0;
+      len = 0;
+      last_ns = min_int;
+      dropped = 0;
+    }
+
+  let name t = t.name
+  let tick_ns t = t.tick_ns
+  let dropped t = t.dropped
+
+  let observe t ~now_ns v =
+    if t.last_ns = min_int || now_ns - t.last_ns >= t.tick_ns then begin
+      t.last_ns <- now_ns;
+      let cap = Array.length t.times in
+      if t.len = cap then begin
+        (* ring full: overwrite the oldest *)
+        t.times.(t.head) <- now_ns;
+        t.values.(t.head) <- v;
+        t.head <- (t.head + 1) mod cap;
+        t.dropped <- t.dropped + 1
+      end
+      else begin
+        let i = (t.head + t.len) mod cap in
+        t.times.(i) <- now_ns;
+        t.values.(i) <- v;
+        t.len <- t.len + 1
+      end
+    end
+
+  let points t =
+    Array.init t.len (fun i ->
+        let j = (t.head + i) mod Array.length t.times in
+        (t.times.(j), t.values.(j)))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Per-opcode executor profiler *)
+
+module Profile = struct
+  (* Cells are indexed by [Opcode.code]; this library cannot depend on
+     hipec_core (it would be a cycle), so the slot count just bounds the
+     code space and display layers map indices back to names. *)
+  let slots = 32
+
+  type cell = { mutable count : int; mutable sim_ns : int; mutable wall_ns : int }
+
+  let fresh_cell () = { count = 0; sim_ns = 0; wall_ns = 0 }
+
+  type t = {
+    backend : string;
+    container : int;
+    cells : cell array;  (* indexed by opcode code *)
+    overhead : cell;  (* dispatch + entry work before the first fetch *)
+    mutable runs : int;
+  }
+
+  let create ~backend ~container =
+    { backend; container; cells = Array.init slots (fun _ -> fresh_cell ()); overhead = fresh_cell (); runs = 0 }
+
+  let backend t = t.backend
+  let container t = t.container
+  let runs t = t.runs
+  let cells t = t.cells
+  let overhead t = t.overhead
+
+  let sim_total t =
+    Array.fold_left (fun acc c -> acc + c.sim_ns) t.overhead.sim_ns t.cells
+
+  let count_total t = Array.fold_left (fun acc c -> acc + c.count) 0 t.cells
+
+  (* One top-level executor run.  Attribution is by boundary timers: at
+     each fetch the interval since the previous boundary is charged to
+     the previously fetched opcode's cell (the overhead cell absorbs the
+     dispatch charge before the first fetch), then the boundary moves.
+     Wall time is measured relative to [base_wall] so ns precision
+     survives the float mantissa. *)
+  type run = {
+    prof : t;
+    base_wall : float;
+    mutable pending : cell;
+    mutable sim0 : int;
+    mutable wall0 : int;
+  }
+
+  let wall_now run = int_of_float ((Unix.gettimeofday () -. run.base_wall) *. 1e9)
+
+  let begin_run prof ~sim_ns =
+    prof.runs <- prof.runs + 1;
+    { prof; base_wall = Unix.gettimeofday (); pending = prof.overhead; sim0 = sim_ns; wall0 = 0 }
+
+  let step run ~opcode ~sim_ns =
+    let w = wall_now run in
+    let prev = run.pending in
+    prev.sim_ns <- prev.sim_ns + (sim_ns - run.sim0);
+    prev.wall_ns <- prev.wall_ns + (w - run.wall0);
+    let cell = run.prof.cells.(opcode) in
+    cell.count <- cell.count + 1;
+    run.pending <- cell;
+    run.sim0 <- sim_ns;
+    run.wall0 <- w
+
+  let finish run ~sim_ns =
+    let w = wall_now run in
+    let prev = run.pending in
+    prev.sim_ns <- prev.sim_ns + (sim_ns - run.sim0);
+    prev.wall_ns <- prev.wall_ns + (w - run.wall0)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+module Registry = struct
+  type metric =
+    | Counter of int ref
+    | Gauge of int ref
+    | Hist of Stats.Histogram.t
+    | Srs of Series.t
+
+  type t = {
+    tick_ns : int;
+    series_cap : int;
+    tbl : (string, metric) Hashtbl.t;
+    profiles : (string * int, Profile.t) Hashtbl.t;
+    norm : (int, int) Hashtbl.t;  (* raw container id -> dense *)
+    mutable next_norm : int;
+  }
+
+  let default_tick_ns = 10_000_000 (* 10 ms of simulated time *)
+
+  let create ?(tick_ns = default_tick_ns) ?(series_cap = 512) () =
+    if tick_ns <= 0 then invalid_arg "Registry.create: tick_ns <= 0";
+    if series_cap <= 0 then invalid_arg "Registry.create: series_cap <= 0";
+    {
+      tick_ns;
+      series_cap;
+      tbl = Hashtbl.create 64;
+      profiles = Hashtbl.create 8;
+      norm = Hashtbl.create 8;
+      next_norm = 0;
+    }
+
+  (* Container ids come from a process-global counter that survives
+     across runs; normalize them to dense first-seen order (exactly like
+     the trace sink's id spaces) so snapshots are run-position
+     independent. *)
+  let norm_container t raw =
+    match Hashtbl.find_opt t.norm raw with
+    | Some v -> v
+    | None ->
+        let v = t.next_norm in
+        t.next_norm <- v + 1;
+        Hashtbl.add t.norm raw v;
+        v
+
+  let tick_ns t = t.tick_ns
+
+  let kind_error name want =
+    invalid_arg (Printf.sprintf "metric %s already registered with another kind (want %s)" name want)
+
+  let counter_cell t name =
+    match Hashtbl.find_opt t.tbl name with
+    | Some (Counter r) -> r
+    | Some _ -> kind_error name "counter"
+    | None ->
+        let r = ref 0 in
+        Hashtbl.replace t.tbl name (Counter r);
+        r
+
+  let gauge_cell t name =
+    match Hashtbl.find_opt t.tbl name with
+    | Some (Gauge r) -> r
+    | Some _ -> kind_error name "gauge"
+    | None ->
+        let r = ref 0 in
+        Hashtbl.replace t.tbl name (Gauge r);
+        r
+
+  let hist_cell t name =
+    match Hashtbl.find_opt t.tbl name with
+    | Some (Hist h) -> h
+    | Some _ -> kind_error name "histogram"
+    | None ->
+        let h = Stats.Histogram.create_log name in
+        Hashtbl.replace t.tbl name (Hist h);
+        h
+
+  let series_cell t name =
+    match Hashtbl.find_opt t.tbl name with
+    | Some (Srs s) -> s
+    | Some _ -> kind_error name "series"
+    | None ->
+        let s = Series.create ~tick_ns:t.tick_ns ~cap:t.series_cap name in
+        Hashtbl.replace t.tbl name (Srs s);
+        s
+
+  let counter_add t name n =
+    let r = counter_cell t name in
+    r := !r + n
+
+  let gauge_set t name v = gauge_cell t name := v
+  let observe t name v = Stats.Histogram.add (hist_cell t name) (float_of_int v)
+  let sample t name ~now_ns v = Series.observe (series_cell t name) ~now_ns v
+
+  let counter_value t name =
+    match Hashtbl.find_opt t.tbl name with Some (Counter r) -> Some !r | _ -> None
+
+  let gauge_value t name =
+    match Hashtbl.find_opt t.tbl name with Some (Gauge r) -> Some !r | _ -> None
+
+  let histogram t name =
+    match Hashtbl.find_opt t.tbl name with Some (Hist h) -> Some h | _ -> None
+
+  let series t name =
+    match Hashtbl.find_opt t.tbl name with Some (Srs s) -> Some s | _ -> None
+
+  let histogram_list t =
+    Hashtbl.fold
+      (fun name m acc -> match m with Hist h -> (name, h) :: acc | _ -> acc)
+      t.tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let series_list t =
+    Hashtbl.fold (fun _ m acc -> match m with Srs s -> s :: acc | _ -> acc) t.tbl []
+    |> List.sort (fun a b -> compare (Series.name a) (Series.name b))
+
+  let profile t ~backend ~container =
+    let container = norm_container t container in
+    let key = (backend, container) in
+    match Hashtbl.find_opt t.profiles key with
+    | Some p -> p
+    | None ->
+        let p = Profile.create ~backend ~container in
+        Hashtbl.replace t.profiles key p;
+        p
+
+  let profiles t =
+    Hashtbl.fold (fun _ p acc -> p :: acc) t.profiles []
+    |> List.sort (fun a b ->
+           match compare a.Profile.backend b.Profile.backend with
+           | 0 -> compare a.Profile.container b.Profile.container
+           | c -> c)
+
+  (* Aggregate the per-container profiles of one backend into a single
+     cell array (plus overhead cell and total run count). *)
+  let profile_totals t ~backend =
+    let relevant = List.filter (fun p -> p.Profile.backend = backend) (profiles t) in
+    match relevant with
+    | [] -> None
+    | ps ->
+        let cells = Array.init Profile.slots (fun _ -> Profile.fresh_cell ()) in
+        let overhead = Profile.fresh_cell () in
+        let runs = ref 0 in
+        List.iter
+          (fun p ->
+            runs := !runs + p.Profile.runs;
+            overhead.Profile.count <- overhead.Profile.count + p.Profile.overhead.Profile.count;
+            overhead.Profile.sim_ns <- overhead.Profile.sim_ns + p.Profile.overhead.Profile.sim_ns;
+            overhead.Profile.wall_ns <- overhead.Profile.wall_ns + p.Profile.overhead.Profile.wall_ns;
+            Array.iteri
+              (fun i c ->
+                cells.(i).Profile.count <- cells.(i).Profile.count + c.Profile.count;
+                cells.(i).Profile.sim_ns <- cells.(i).Profile.sim_ns + c.Profile.sim_ns;
+                cells.(i).Profile.wall_ns <- cells.(i).Profile.wall_ns + c.Profile.wall_ns)
+              p.Profile.cells)
+          ps;
+        Some (cells, overhead, !runs)
+
+  let sorted_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] |> List.sort compare
+
+  let fold_sorted t f acc =
+    List.fold_left (fun acc name -> f acc name (Hashtbl.find t.tbl name)) acc (sorted_names t)
+
+  (* ---------------------------------------------------------------- *)
+  (* Exposition: kstat lines, JSON, Prometheus text format *)
+
+  let pct h p = int_of_float (Stats.Histogram.percentile h p)
+
+  (* Two-column lines for Kstat.pp; the caller owns the formatter and
+     the column layout. *)
+  let kstat_lines t =
+    let lines =
+      fold_sorted t
+        (fun acc name m ->
+          let v =
+            match m with
+            | Counter r -> string_of_int !r
+            | Gauge r -> string_of_int !r
+            | Hist h ->
+                Printf.sprintf "n=%d p50=%d p90=%d p99=%d max=%d"
+                  (Stats.Histogram.count h) (pct h 50.) (pct h 90.) (pct h 99.)
+                  (int_of_float (Stats.Histogram.max h))
+            | Srs s ->
+                let pts = Series.points s in
+                let n = Array.length pts in
+                if n = 0 then "points=0"
+                else
+                  let _, last = pts.(n - 1) in
+                  Printf.sprintf "points=%d last=%d" n last
+          in
+          (name, v) :: acc)
+        []
+      |> List.rev
+    in
+    let prof =
+      List.map
+        (fun p ->
+          ( Printf.sprintf "opcode profile %s/c%d" p.Profile.backend p.Profile.container,
+            Printf.sprintf "runs=%d cmds=%d sim_ns=%d" p.Profile.runs
+              (Profile.count_total p) (Profile.sim_total p) ))
+        (profiles t)
+    in
+    lines @ prof
+
+  let json_escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let default_opcode_name i = Printf.sprintf "op%02d" i
+
+  let json_of_profile ?(wall = true) ~opcode_name ~runs ~label (cells : Profile.cell array)
+      (overhead : Profile.cell) =
+    let b = Buffer.create 512 in
+    Buffer.add_string b "{";
+    Buffer.add_string b label;
+    Buffer.add_string b (Printf.sprintf "\"runs\":%d,\"opcodes\":[" runs);
+    let first = ref true in
+    Array.iteri
+      (fun i (c : Profile.cell) ->
+        if c.Profile.count > 0 then begin
+          if not !first then Buffer.add_char b ',';
+          first := false;
+          Buffer.add_string b
+            (Printf.sprintf "{\"op\":%d,\"name\":\"%s\",\"count\":%d,\"sim_ns\":%d" i
+               (json_escape (opcode_name i)) c.Profile.count c.Profile.sim_ns);
+          if wall then Buffer.add_string b (Printf.sprintf ",\"wall_ns\":%d" c.Profile.wall_ns);
+          Buffer.add_char b '}'
+        end)
+      cells;
+    Buffer.add_string b "],";
+    Buffer.add_string b
+      (Printf.sprintf "\"overhead\":{\"count\":%d,\"sim_ns\":%d" overhead.Profile.count
+         overhead.Profile.sim_ns);
+    if wall then Buffer.add_string b (Printf.sprintf ",\"wall_ns\":%d" overhead.Profile.wall_ns);
+    Buffer.add_string b "},";
+    let sim_total =
+      Array.fold_left (fun acc (c : Profile.cell) -> acc + c.Profile.sim_ns) overhead.Profile.sim_ns cells
+    in
+    Buffer.add_string b (Printf.sprintf "\"sim_ns_total\":%d}" sim_total);
+    Buffer.contents b
+
+  (* Deterministic JSON snapshot: metric names sorted, series points in
+     sim-time order, wall-ns fields present only when [wall].  With
+     [wall:false] two identical seeded runs serialize identically. *)
+  let to_json ?(wall = true) ?(opcode_name = default_opcode_name) t =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b (Printf.sprintf "{\"tick_ns\":%d,\"counters\":{" t.tick_ns);
+    let first = ref true in
+    let sep () =
+      if !first then first := false else Buffer.add_char b ','
+    in
+    fold_sorted t
+      (fun () name m ->
+        match m with
+        | Counter r ->
+            sep ();
+            Buffer.add_string b (Printf.sprintf "\"%s\":%d" (json_escape name) !r)
+        | _ -> ())
+      ();
+    Buffer.add_string b "},\"gauges\":{";
+    first := true;
+    fold_sorted t
+      (fun () name m ->
+        match m with
+        | Gauge r ->
+            sep ();
+            Buffer.add_string b (Printf.sprintf "\"%s\":%d" (json_escape name) !r)
+        | _ -> ())
+      ();
+    Buffer.add_string b "},\"histograms\":[";
+    first := true;
+    fold_sorted t
+      (fun () name m ->
+        match m with
+        | Hist h ->
+            sep ();
+            Buffer.add_string b
+              (Printf.sprintf
+                 "{\"name\":\"%s\",\"count\":%d,\"underflow\":%d,\"overflow\":%d,\"min\":%d,\"max\":%d,\"mean\":%d,\"p50\":%d,\"p90\":%d,\"p99\":%d}"
+                 (json_escape name) (Stats.Histogram.count h) (Stats.Histogram.underflow h)
+                 (Stats.Histogram.overflow h)
+                 (int_of_float (Stats.Histogram.min h))
+                 (int_of_float (Stats.Histogram.max h))
+                 (int_of_float (Stats.Histogram.mean h))
+                 (pct h 50.) (pct h 90.) (pct h 99.))
+        | _ -> ())
+      ();
+    Buffer.add_string b "],\"series\":[";
+    first := true;
+    fold_sorted t
+      (fun () name m ->
+        match m with
+        | Srs s ->
+            sep ();
+            Buffer.add_string b
+              (Printf.sprintf "{\"name\":\"%s\",\"tick_ns\":%d,\"dropped\":%d,\"points\":["
+                 (json_escape name) (Series.tick_ns s) (Series.dropped s));
+            Array.iteri
+              (fun i (tns, v) ->
+                if i > 0 then Buffer.add_char b ',';
+                Buffer.add_string b (Printf.sprintf "[%d,%d]" tns v))
+              (Series.points s);
+            Buffer.add_string b "]}"
+        | _ -> ())
+      ();
+    Buffer.add_string b "],\"profiles\":[";
+    first := true;
+    List.iter
+      (fun p ->
+        sep ();
+        let label =
+          Printf.sprintf "\"backend\":\"%s\",\"container\":%d," (json_escape p.Profile.backend)
+            p.Profile.container
+        in
+        Buffer.add_string b
+          (json_of_profile ~wall ~opcode_name ~runs:p.Profile.runs ~label p.Profile.cells
+             p.Profile.overhead))
+      (profiles t);
+    Buffer.add_string b "]}";
+    Buffer.contents b
+
+  let prom_name name =
+    let b = Buffer.create (String.length name + 8) in
+    Buffer.add_string b "hipec_";
+    String.iter
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+        | _ -> Buffer.add_char b '_')
+      name;
+    Buffer.contents b
+
+  (* Prometheus text exposition (v0.0.4).  Histograms emit cumulative
+     [le] buckets over the log-2 edges actually populated, plus the
+     conventional _sum/_count pair. *)
+  let to_prom ?(opcode_name = default_opcode_name) t =
+    let b = Buffer.create 4096 in
+    fold_sorted t
+      (fun () name m ->
+        let pname = prom_name name in
+        match m with
+        | Counter r ->
+            Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" pname pname !r)
+        | Gauge r ->
+            Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n%s %d\n" pname pname !r)
+        | Hist h ->
+            Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" pname);
+            let counts = Stats.Histogram.bucket_counts h in
+            let cum = ref (Stats.Histogram.underflow h) in
+            Array.iteri
+              (fun i c ->
+                cum := !cum + c;
+                if c > 0 then
+                  let _, hi = Stats.Histogram.bucket_bounds h i in
+                  Buffer.add_string b
+                    (Printf.sprintf "%s_bucket{le=\"%.0f\"} %d\n" pname hi !cum))
+              counts;
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" pname (Stats.Histogram.count h));
+            Buffer.add_string b
+              (Printf.sprintf "%s_sum %.0f\n%s_count %d\n" pname (Stats.Histogram.sum h)
+                 pname (Stats.Histogram.count h))
+        | Srs s -> (
+            (* a series exports its most recent value as a gauge *)
+            let pts = Series.points s in
+            match Array.length pts with
+            | 0 -> ()
+            | n ->
+                let _, last = pts.(n - 1) in
+                Buffer.add_string b
+                  (Printf.sprintf "# TYPE %s gauge\n%s %d\n" pname pname last)))
+      ();
+    List.iter
+      (fun p ->
+        let labels op =
+          Printf.sprintf "{backend=\"%s\",container=\"%d\",op=\"%s\"}" p.Profile.backend
+            p.Profile.container (opcode_name op)
+        in
+        Array.iteri
+          (fun i (c : Profile.cell) ->
+            if c.Profile.count > 0 then begin
+              Buffer.add_string b
+                (Printf.sprintf "hipec_opcode_commands_total%s %d\n" (labels i) c.Profile.count);
+              Buffer.add_string b
+                (Printf.sprintf "hipec_opcode_sim_ns_total%s %d\n" (labels i) c.Profile.sim_ns);
+              Buffer.add_string b
+                (Printf.sprintf "hipec_opcode_wall_ns_total%s %d\n" (labels i) c.Profile.wall_ns)
+            end)
+          p.Profile.cells)
+      (profiles t);
+    Buffer.contents b
+end
+
+(* ------------------------------------------------------------------ *)
+(* Global install point and zero-cost emit sites *)
+
+let current : Registry.t option ref = ref None
+let enabled = ref false
+
+(* Simulated clock for series sampling; [Kernel.create] points it at its
+   engine, exactly like [Trace.set_clock]. *)
+let clock : (unit -> Sim_time.t) ref = ref (fun () -> Sim_time.zero)
+
+let set_clock f = clock := f
+
+let install ?tick_ns ?series_cap () =
+  let r = Registry.create ?tick_ns ?series_cap () in
+  current := Some r;
+  enabled := true;
+  r
+
+let uninstall () =
+  let r = !current in
+  current := None;
+  enabled := false;
+  r
+
+let active () = !current
+let on () = !enabled
+
+(* Dense per-registry alias for a process-global container id, for emit
+   sites that bake the id into a metric name.  Identity when disabled. *)
+let container_id raw =
+  match !current with None -> raw | Some r -> Registry.norm_container r raw
+
+(* The emit helpers pattern-match [!current] directly (no closure) so a
+   disabled emit is a load, a branch and a return. *)
+
+let incr name = match !current with None -> () | Some r -> Registry.counter_add r name 1
+let add name n = match !current with None -> () | Some r -> Registry.counter_add r name n
+let gauge_set name v = match !current with None -> () | Some r -> Registry.gauge_set r name v
+let observe name v = match !current with None -> () | Some r -> Registry.observe r name v
+
+let sample name v =
+  match !current with
+  | None -> ()
+  | Some r -> Registry.sample r name ~now_ns:(Sim_time.to_ns (!clock ())) v
+
+(* Profiler entry points for the executor backends. *)
+
+let profile_begin ~backend ~container ~sim_ns =
+  match !current with
+  | None -> None
+  | Some r -> Some (Profile.begin_run (Registry.profile r ~backend ~container) ~sim_ns)
+
+let profile_step run ~opcode ~sim_ns = Profile.step run ~opcode ~sim_ns
+let profile_end run ~sim_ns = Profile.finish run ~sim_ns

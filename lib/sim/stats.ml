@@ -52,6 +52,19 @@ module Summary = struct
     t.min <- infinity;
     t.max <- neg_infinity
 
+  (* Exact nearest-rank percentile over a sample array: the oracle the
+     bucketed Histogram estimate is tested against. *)
+  let percentile samples p =
+    let n = Array.length samples in
+    if n = 0 then 0.
+    else begin
+      let s = Array.copy samples in
+      Array.sort compare s;
+      let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+      let rank = Stdlib.max 1 (Stdlib.min n rank) in
+      s.(rank - 1)
+    end
+
   let pp fmt t =
     Format.fprintf fmt "%s: n=%d mean=%.3f min=%.3f max=%.3f sd=%.3f" t.name t.count
       (mean t)
@@ -61,36 +74,121 @@ module Summary = struct
 end
 
 module Histogram = struct
+  (* One accumulator, two binnings.  [Fixed] keeps the historical
+     uniform-width buckets over [lo, hi) — driver.ml's 0-16 ms fault
+     profile depends on its exact layout and pp output — while [Log]
+     buckets by power of two: bucket 0 holds [0, 1), bucket i >= 1 holds
+     [2^(i-1), 2^i).  Samples at or above the top edge land in the
+     overflow bucket in both binnings; negatives underflow. *)
+  type binning = Fixed of { lo : float; hi : float } | Log
+
   type t = {
     name : string;
-    lo : float;
-    hi : float;
+    binning : binning;
     buckets : int array;
     mutable underflow : int;
     mutable overflow : int;
     mutable count : int;
+    mutable sum : float;
+    mutable vmin : float;
+    mutable vmax : float;
   }
+
+  let make name binning nbuckets =
+    {
+      name;
+      binning;
+      buckets = Array.make nbuckets 0;
+      underflow = 0;
+      overflow = 0;
+      count = 0;
+      sum = 0.;
+      vmin = infinity;
+      vmax = neg_infinity;
+    }
 
   let create ?(buckets = 16) ~lo ~hi name =
     if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
     if buckets <= 0 then invalid_arg "Histogram.create: buckets <= 0";
-    { name; lo; hi; buckets = Array.make buckets 0; underflow = 0; overflow = 0; count = 0 }
+    make name (Fixed { lo; hi }) buckets
+
+  let create_log ?(buckets = 48) name =
+    if buckets < 2 then invalid_arg "Histogram.create_log: buckets < 2";
+    make name Log buckets
+
+  let bucket_bounds t i =
+    match t.binning with
+    | Fixed { lo; hi } ->
+        let w = (hi -. lo) /. float_of_int (Array.length t.buckets) in
+        (lo +. (w *. float_of_int i), lo +. (w *. float_of_int (i + 1)))
+    | Log ->
+        if i = 0 then (0., 1.)
+        else (ldexp 1. (i - 1), ldexp 1. i)
+
+  (* Index of the bucket [x] belongs in, [-1] for underflow,
+     [Array.length buckets] for overflow. *)
+  let bucket_index t x =
+    let n = Array.length t.buckets in
+    match t.binning with
+    | Fixed { lo; hi } ->
+        if x < lo then -1
+        else if x >= hi then n
+        else
+          let idx = int_of_float ((x -. lo) /. (hi -. lo) *. float_of_int n) in
+          Stdlib.min idx (n - 1)
+    | Log ->
+        if x < 0. then -1
+        else if x < 1. then 0
+        else begin
+          (* bucket for [2^(i-1), 2^i) is the bit width of floor(x) *)
+          let rec width acc v = if v = 0 then acc else width (acc + 1) (v lsr 1) in
+          let i = width 0 (int_of_float x) in
+          if i >= n then n else i
+        end
 
   let add t x =
     t.count <- t.count + 1;
-    if x < t.lo then t.underflow <- t.underflow + 1
-    else if x >= t.hi then t.overflow <- t.overflow + 1
-    else begin
-      let n = Array.length t.buckets in
-      let idx = int_of_float ((x -. t.lo) /. (t.hi -. t.lo) *. float_of_int n) in
-      let idx = Stdlib.min idx (n - 1) in
-      t.buckets.(idx) <- t.buckets.(idx) + 1
-    end
+    t.sum <- t.sum +. x;
+    if x < t.vmin then t.vmin <- x;
+    if x > t.vmax then t.vmax <- x;
+    let i = bucket_index t x in
+    if i < 0 then t.underflow <- t.underflow + 1
+    else if i >= Array.length t.buckets then t.overflow <- t.overflow + 1
+    else t.buckets.(i) <- t.buckets.(i) + 1
 
   let count t = t.count
   let bucket_counts t = Array.copy t.buckets
   let underflow t = t.underflow
   let overflow t = t.overflow
+  let sum t = t.sum
+  let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+  let min t = if t.count = 0 then 0. else t.vmin
+  let max t = if t.count = 0 then 0. else t.vmax
+
+  (* Nearest-rank estimate from the buckets: walk the cumulative counts
+     to the bucket holding the ranked sample and report its upper edge,
+     clamped to the exact [vmin, vmax] so p0/p100 are exact and the
+     estimate never leaves the observed range. *)
+  let percentile t p =
+    if t.count = 0 then 0.
+    else begin
+      let rank = int_of_float (ceil (p /. 100. *. float_of_int t.count)) in
+      let rank = Stdlib.max 1 (Stdlib.min t.count rank) in
+      if rank <= t.underflow then t.vmin
+      else begin
+        let n = Array.length t.buckets in
+        let rec walk i cum =
+          if i >= n then t.vmax
+          else
+            let cum = cum + t.buckets.(i) in
+            if rank <= cum then
+              let _, hi = bucket_bounds t i in
+              Float.max t.vmin (Float.min hi t.vmax)
+            else walk (i + 1) cum
+        in
+        walk 0 t.underflow
+      end
+    end
 
   let pp fmt t =
     Format.fprintf fmt "%s: n=%d [" t.name t.count;

@@ -168,20 +168,29 @@ let events c =
 
 let fault_latency_buckets c = (Array.copy c.fault_latency, c.fault_latency_overflow)
 
-let pp_summary fmt c =
-  Format.fprintf fmt "@[<v>trace: %d events, digest %s@," c.seq (digest_hex c.digest);
+(* Shared category-count and latency-bucket formatting: [pp_summary] and
+   [Kstat.pp] print the same strings, built here exactly once so the two
+   surfaces cannot drift apart. *)
+let counts_summary c =
   let parts = ref [] in
   for i = Event.num_categories - 1 downto 0 do
     if c.counts.(i) > 0 then
       parts := Printf.sprintf "%s %d" (Event.category_name i) c.counts.(i) :: !parts
   done;
-  Format.fprintf fmt "  counts: %s@,"
-    (if !parts = [] then "(empty)" else String.concat ", " !parts);
+  String.concat ", " !parts
+
+let fault_latency_summary c =
+  Printf.sprintf "[%s | >16ms %d]"
+    (String.concat " " (Array.to_list (Array.map string_of_int c.fault_latency)))
+    c.fault_latency_overflow
+
+let pp_summary fmt c =
+  Format.fprintf fmt "@[<v>trace: %d events, digest %s@," c.seq (digest_hex c.digest);
+  let counts = counts_summary c in
+  Format.fprintf fmt "  counts: %s@," (if counts = "" then "(empty)" else counts);
   let total_faults = Array.fold_left ( + ) c.fault_latency_overflow c.fault_latency in
   if total_faults > 0 then
-    Format.fprintf fmt "  fault latency (1ms buckets): [%s | >16ms %d]@,"
-      (String.concat " " (Array.to_list (Array.map string_of_int c.fault_latency)))
-      c.fault_latency_overflow;
+    Format.fprintf fmt "  fault latency (1ms buckets): %s@," (fault_latency_summary c);
   Format.fprintf fmt "@]"
 
 (* ------------------------------------------------------------------ *)

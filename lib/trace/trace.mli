@@ -70,7 +70,17 @@ val events : collector -> Event.t array
 
 val fault_latency_buckets : collector -> int array * int
 (** 16 uniform 1 ms buckets over [0, 16 ms) of fault service latency,
-    plus the overflow count. *)
+    plus the overflow count.  A latency of exactly 16 ms lands in the
+    overflow count, not in the last bucket. *)
+
+val counts_summary : collector -> string
+(** ["access 12, fault 3, ..."] in category order; [""] when no events
+    have been recorded.  Shared by {!pp_summary} and [Kstat.pp] so the
+    two surfaces print identical strings. *)
+
+val fault_latency_summary : collector -> string
+(** ["[c0 c1 ... c15 | >16ms n]"] — the bucket counts of
+    {!fault_latency_buckets} in display form. *)
 
 val pp_summary : Format.formatter -> collector -> unit
 

@@ -52,13 +52,21 @@ let submit_write ?(policy = default_policy) stats disk ~remap ~block ~nblocks on
                 stats.io_retries <- stats.io_retries + 1;
                 Hipec_trace.Trace.io_retry ~block:b ~write:true ~attempt:(tries + 1)
                   ~gave_up:false;
+                let delay = backoff policy ~attempt:(tries + 1) in
+                if Hipec_metrics.Metrics.on () then begin
+                  Hipec_metrics.Metrics.observe "vm.io_retry.attempt" (tries + 1);
+                  Hipec_metrics.Metrics.observe "vm.io_retry.backoff_ns"
+                    (Sim_time.to_ns delay)
+                end;
                 ignore
-                  (Engine.schedule engine ~after:(backoff policy ~attempt:(tries + 1))
-                     (fun _ -> attempt ~block:b ~tries:(tries + 1)))
+                  (Engine.schedule engine ~after:delay (fun _ ->
+                       attempt ~block:b ~tries:(tries + 1)))
             | Some _ | None ->
                 stats.io_giveups <- stats.io_giveups + 1;
                 Hipec_trace.Trace.io_retry ~block ~write:true ~attempt:tries
                   ~gave_up:true;
+                if Hipec_metrics.Metrics.on () then
+                  Hipec_metrics.Metrics.incr "vm.io_retry.giveups";
                 on_done engine (Error err)))
   in
   attempt ~block ~tries:0
@@ -76,12 +84,19 @@ let sync_read ?(policy = default_policy) stats ~charge disk ~block ~nblocks =
           stats.io_retries <- stats.io_retries + 1;
           Hipec_trace.Trace.io_retry ~block ~write:false ~attempt:(tries + 1)
             ~gave_up:false;
-          charge (backoff policy ~attempt:(tries + 1));
+          let delay = backoff policy ~attempt:(tries + 1) in
+          if Hipec_metrics.Metrics.on () then begin
+            Hipec_metrics.Metrics.observe "vm.io_retry.attempt" (tries + 1);
+            Hipec_metrics.Metrics.observe "vm.io_retry.backoff_ns" (Sim_time.to_ns delay)
+          end;
+          charge delay;
           attempt (tries + 1)
         end
         else begin
           stats.io_giveups <- stats.io_giveups + 1;
           Hipec_trace.Trace.io_retry ~block ~write:false ~attempt:tries ~gave_up:true;
+          if Hipec_metrics.Metrics.on () then
+            Hipec_metrics.Metrics.incr "vm.io_retry.giveups";
           Error err
         end
   in

@@ -5,6 +5,17 @@ let log = Logs.Src.create "hipec.kernel" ~doc:"simulated kernel"
 
 module Log = (val Logs.src_log log : Logs.LOG)
 module Tr = Hipec_trace.Trace
+module Mx = Hipec_metrics.Metrics
+
+(* Fault-service latency histograms, one per fault kind plus an
+   aggregate; constant names so a disabled registry costs one branch and
+   an enabled one never allocates on the fault path. *)
+let fault_metric = function
+  | Hipec_trace.Event.Soft -> "vm.fault.soft.ns"
+  | Hipec_trace.Event.Zero_fill -> "vm.fault.zero_fill.ns"
+  | Hipec_trace.Event.File_pagein -> "vm.fault.pagein.ns"
+  | Hipec_trace.Event.Cow -> "vm.fault.cow.ns"
+  | Hipec_trace.Event.Hipec -> "vm.fault.hipec.ns"
 
 exception Task_terminated of Task.t * string
 
@@ -73,6 +84,7 @@ let create ?(config = default_config) () =
   (* an active collector stamps events with this kernel's clock; a no-op
      otherwise *)
   Tr.set_clock (fun () -> Engine.now engine);
+  Mx.set_clock (fun () -> Engine.now engine);
   let rng = Rng.create ~seed:config.seed in
   let disk =
     Disk.create ?params:config.disk_params ?faults:config.disk_faults ~engine
@@ -377,9 +389,18 @@ let fault t task region ~vpn ~write =
   t.stats.faults <- t.stats.faults + 1;
   let t0 = now t in
   let emit kind =
-    if Tr.on () then
-      Tr.fault ~task:(Task.id task) ~vpn ~kind
-        ~latency_ns:(Sim_time.to_ns (Sim_time.sub (now t) t0))
+    if Tr.on () || Mx.on () then begin
+      let lat = Sim_time.to_ns (Sim_time.sub (now t) t0) in
+      if Tr.on () then Tr.fault ~task:(Task.id task) ~vpn ~kind ~latency_ns:lat;
+      if Mx.on () then begin
+        Mx.observe (fault_metric kind) lat;
+        Mx.observe "vm.fault.all.ns" lat;
+        Mx.incr "vm.fault.count";
+        let free = Frame.Table.free_count t.frame_table in
+        Mx.gauge_set "vm.free_frames" free;
+        Mx.sample "vm.free_frames.ts" free
+      end
+    end
   in
   charge t t.costs.Costs.fault_trap;
   if t.hipec_kernel then charge t t.costs.Costs.hipec_region_check;
@@ -470,9 +491,16 @@ let resolve_cow_write t task region ~vpn =
   | None -> ());
   charge t t.costs.Costs.pmap_enter;
   Pmap.protect (Task.pmap task) ~vpn ~prot:region.Vm_map.prot;
-  if Tr.on () then
-    Tr.fault ~task:(Task.id task) ~vpn ~kind:Hipec_trace.Event.Cow
-      ~latency_ns:(Sim_time.to_ns (Sim_time.sub (now t) t0))
+  if Tr.on () || Mx.on () then begin
+    let lat = Sim_time.to_ns (Sim_time.sub (now t) t0) in
+    if Tr.on () then
+      Tr.fault ~task:(Task.id task) ~vpn ~kind:Hipec_trace.Event.Cow ~latency_ns:lat;
+    if Mx.on () then begin
+      Mx.observe (fault_metric Hipec_trace.Event.Cow) lat;
+      Mx.observe "vm.fault.all.ns" lat;
+      Mx.incr "vm.fault.count"
+    end
+  end
 
 let set_access_recorder t tap = t.access_recorder <- tap
 

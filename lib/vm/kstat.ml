@@ -41,21 +41,21 @@ let pp fmt k =
   | None -> ()
   | Some c ->
       let module Tr = Hipec_trace.Trace in
-      let module Ev = Hipec_trace.Event in
       line "trace" "%d events, digest %s" (Tr.events_seen c)
         (Tr.digest_hex (Tr.digest c));
-      let counts = Tr.counts c in
-      let parts = ref [] in
-      for i = Ev.num_categories - 1 downto 0 do
-        if counts.(i) > 0 then
-          parts := Printf.sprintf "%s %d" (Ev.category_name i) counts.(i) :: !parts
-      done;
-      if !parts <> [] then line "trace counts" "%s" (String.concat ", " !parts);
+      let counts = Tr.counts_summary c in
+      if counts <> "" then line "trace counts" "%s" counts;
       let buckets, overflow = Tr.fault_latency_buckets c in
       if Array.fold_left ( + ) overflow buckets > 0 then
-        line "trace fault latency" "1ms buckets [%s | >16ms %d]"
-          (String.concat " " (Array.to_list (Array.map string_of_int buckets)))
-          overflow);
+        line "trace fault latency" "1ms buckets %s" (Tr.fault_latency_summary c));
+  (* likewise: the metrics section only appears while a registry is
+     installed *)
+  (match Hipec_metrics.Metrics.active () with
+  | None -> ()
+  | Some reg ->
+      List.iter
+        (fun (name, value) -> line name "%s" value)
+        (Hipec_metrics.Metrics.Registry.kstat_lines reg));
   Format.fprintf fmt "@]"
 
 let to_string k = Format.asprintf "%a" pp k

@@ -86,6 +86,10 @@ let launder t ctx page =
   Vm_object.disconnect obj page;
   t.laundry <- t.laundry + 1;
   t.pageout_writes <- t.pageout_writes + 1;
+  if Hipec_metrics.Metrics.on () then begin
+    Hipec_metrics.Metrics.incr "vm.pageout.laundered";
+    Hipec_metrics.Metrics.gauge_set "vm.pageout.laundry" t.laundry
+  end;
   let remap = function
     | Disk.Bad_block _ when (match Vm_object.backing obj with
                             | Vm_object.Zero_fill -> true
@@ -112,6 +116,11 @@ let evict_clean ctx page =
    the inactive queue is drained. *)
 let reclaim_step t ctx =
   Engine.advance ctx.engine ctx.costs.Costs.queue_op;
+  if Hipec_metrics.Metrics.on () then begin
+    Hipec_metrics.Metrics.incr "vm.pageout.scans";
+    Hipec_metrics.Metrics.sample "vm.pageout.inactive_depth.ts"
+      (Page_queue.length t.inactive)
+  end;
   match Page_queue.dequeue_head t.inactive with
   | None -> `Empty
   | Some page ->
@@ -120,10 +129,14 @@ let reclaim_step t ctx =
         Vm_page.clear_referenced page;
         Page_queue.enqueue_tail t.active page;
         t.reactivations <- t.reactivations + 1;
+        if Hipec_metrics.Metrics.on () then
+          Hipec_metrics.Metrics.incr "vm.pageout.reactivations";
         `Progress
       end
       else begin
         t.evictions <- t.evictions + 1;
+        if Hipec_metrics.Metrics.on () then
+          Hipec_metrics.Metrics.incr "vm.pageout.evictions";
         (if Hipec_trace.Trace.on () then
            match Vm_page.binding page with
            | Some (oid, offset) ->

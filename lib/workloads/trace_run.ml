@@ -151,6 +151,20 @@ let record = function
   | Policy cfg -> record_policy cfg
   | Named name -> collect (fun () -> run_named name)
 
+(* Run a scenario without touching the trace sink: [hipec stat] and the
+   bench harness install a metrics registry around this instead. *)
+let run_scenario = function
+  | Policy cfg -> (
+      match build_trace cfg with
+      | Error _ as e -> e
+      | Ok trace ->
+          Result.map
+            (fun (k, task, region) ->
+              Access_trace.replay k task region trace;
+              Kernel.drain_io k)
+            (setup_policy cfg))
+  | Named name -> Result.map (fun (_ : (string * string) list) -> ()) (run_named name)
+
 type replay_outcome = {
   recorded_digest : int64;
   replayed_digest : int64;

@@ -41,6 +41,11 @@ val record : scenario -> (Trace.Recorded.t, string) result
     installed collector is replaced and the collector is uninstalled
     before returning, success or not. *)
 
+val run_scenario : scenario -> (unit, string) result
+(** Run the scenario with whatever sinks are currently installed —
+    unlike {!record} this never touches the trace collector, so callers
+    can observe a run through a metrics registry (or nothing at all). *)
+
 type replay_outcome = {
   recorded_digest : int64;
   replayed_digest : int64;

@@ -1,0 +1,295 @@
+(* Tests for lib/metrics: registry determinism, histogram percentiles
+   against a sorted-array oracle, the zero-cost-when-disabled contract,
+   interp-vs-compiled per-opcode attribution, and the top-bucket
+   boundary regressions (values at the upper edge must overflow). *)
+
+open Hipec_core
+open Hipec_workloads
+module Mx = Hipec_metrics.Metrics
+module St = Hipec_sim.Stats
+module Trace = Hipec_trace.Trace
+
+(* ------------------------------------------------------------------ *)
+(* Registry basics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_kinds () =
+  let reg = Mx.Registry.create () in
+  Mx.Registry.counter_add reg "c" 3;
+  Mx.Registry.counter_add reg "c" 2;
+  Mx.Registry.gauge_set reg "g" 7;
+  Mx.Registry.observe reg "h" 100;
+  Alcotest.(check (option int)) "counter" (Some 5) (Mx.Registry.counter_value reg "c");
+  Alcotest.(check (option int)) "gauge" (Some 7) (Mx.Registry.gauge_value reg "g");
+  Alcotest.(check bool) "histogram" true (Mx.Registry.histogram reg "h" <> None);
+  Alcotest.(check (option int)) "missing" None (Mx.Registry.counter_value reg "nope");
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "metric c already registered with another kind (want gauge)")
+    (fun () -> Mx.Registry.gauge_set reg "c" 1)
+
+let test_series_downsampling () =
+  let reg = Mx.Registry.create ~tick_ns:100 ~series_cap:4 () in
+  (* only samples >= tick apart are accepted *)
+  Mx.Registry.sample reg "s" ~now_ns:0 10;
+  Mx.Registry.sample reg "s" ~now_ns:50 11;   (* rejected: < tick *)
+  Mx.Registry.sample reg "s" ~now_ns:100 12;
+  Mx.Registry.sample reg "s" ~now_ns:199 13;  (* rejected *)
+  Mx.Registry.sample reg "s" ~now_ns:200 14;
+  let s = Option.get (Mx.Registry.series reg "s") in
+  Alcotest.(check (list (pair int int)))
+    "downsampled points"
+    [ (0, 10); (100, 12); (200, 14) ]
+    (Array.to_list (Mx.Series.points s));
+  (* the ring keeps the newest cap points and counts evictions *)
+  Mx.Registry.sample reg "s" ~now_ns:300 15;
+  Mx.Registry.sample reg "s" ~now_ns:400 16;
+  Alcotest.(check int) "dropped" 1 (Mx.Series.dropped s);
+  Alcotest.(check (list (pair int int)))
+    "ring keeps newest"
+    [ (100, 12); (200, 14); (300, 15); (400, 16) ]
+    (Array.to_list (Mx.Series.points s))
+
+(* ------------------------------------------------------------------ *)
+(* Zero cost when disabled                                             *)
+(* ------------------------------------------------------------------ *)
+
+let minor_words_of f =
+  let w0 = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. w0
+
+let test_zero_cost_when_disabled () =
+  ignore (Mx.uninstall ());
+  Alcotest.(check bool) "disabled" false (Mx.on ());
+  let emits () =
+    for i = 1 to 10_000 do
+      Mx.incr "zc.counter";
+      Mx.add "zc.counter" 2;
+      Mx.gauge_set "zc.gauge" i;
+      Mx.observe "zc.hist" i;
+      Mx.sample "zc.series" i;
+      assert (Mx.profile_begin ~backend:"interp" ~container:0 ~sim_ns:i = None)
+    done
+  in
+  let baseline = minor_words_of (fun () -> for _ = 1 to 10_000 do () done) in
+  let cost = minor_words_of emits in
+  (* a handful of words covers the Gc.minor_words float boxes; the
+     10k iterations themselves must not allocate *)
+  Alcotest.(check bool)
+    (Printf.sprintf "no allocation when disabled (%.0f words)" (cost -. baseline))
+    true
+    (cost -. baseline <= 64.);
+  (* and no observable state: a registry installed afterwards is empty *)
+  let reg = Mx.install () in
+  Alcotest.(check int) "nothing materialized" 0
+    (List.length (Mx.Registry.kstat_lines reg));
+  ignore (Mx.uninstall ())
+
+(* ------------------------------------------------------------------ *)
+(* Histogram percentiles vs the sorted-array oracle                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The log-bucketed estimate returns the upper edge of the bucket
+   holding the nearest-rank sample, clamped to the exact [min, max]:
+   it can never undershoot the true percentile, and overshoots by at
+   most one bucket width (a factor of 2 above 1). *)
+let prop_percentile_vs_oracle =
+  QCheck.Test.make ~name:"log-histogram percentile brackets the exact one" ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 200) (int_bound 2_000_000))
+        (int_range 1 100))
+    (fun (xs, p) ->
+      let p = float_of_int p in
+      let h = St.Histogram.create_log "oracle" in
+      List.iter (fun x -> St.Histogram.add h (float_of_int x)) xs;
+      let samples = Array.of_list (List.map float_of_int xs) in
+      let exact = St.Summary.percentile samples p in
+      let est = St.Histogram.percentile h p in
+      est >= exact && est <= Float.max 1. (2. *. exact) && est <= St.Histogram.max h)
+
+let test_percentile_handworked () =
+  let h = St.Histogram.create_log "hw" in
+  List.iter (fun v -> St.Histogram.add h v) [ 3.; 5.; 100.; 1000. ];
+  (* rank 2 of 4 at p50 -> the sample 5, bucket [4,8) -> clamped edge *)
+  Alcotest.(check bool) "p50 in [5, 8]" true
+    (St.Histogram.percentile h 50. >= 5. && St.Histogram.percentile h 50. <= 8.);
+  Alcotest.(check (float 0.0)) "p100 is the max" 1000. (St.Histogram.percentile h 100.);
+  let empty = St.Histogram.create_log "empty" in
+  Alcotest.(check (float 0.0)) "empty percentile" 0. (St.Histogram.percentile empty 50.)
+
+(* ------------------------------------------------------------------ *)
+(* Top-bucket boundary regressions                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_fixed_histogram_top_edge () =
+  (* driver.ml's per-fault latency histogram shape: 16 x 1ms over
+     [0,16) ms.  A value equal to [hi] lies outside the closed-open
+     range and must land in overflow, not the last bucket. *)
+  let h = St.Histogram.create ~buckets:16 ~lo:0. ~hi:16. "edge" in
+  St.Histogram.add h 0.;
+  St.Histogram.add h 15.999;
+  St.Histogram.add h 16.;
+  St.Histogram.add h (-0.5);
+  let counts = St.Histogram.bucket_counts h in
+  Alcotest.(check int) "lo lands in bucket 0" 1 counts.(0);
+  Alcotest.(check int) "just under hi in last bucket" 1 counts.(15);
+  Alcotest.(check int) "hi overflows" 1 (St.Histogram.overflow h);
+  Alcotest.(check int) "below lo underflows" 1 (St.Histogram.underflow h);
+  Alcotest.(check int) "all samples counted" 4 (St.Histogram.count h)
+
+let test_log_histogram_bucket_edges () =
+  let h = St.Histogram.create_log ~buckets:8 "log-edge" in
+  Alcotest.(check int) "0 -> bucket 0" 0 (St.Histogram.bucket_index h 0.);
+  Alcotest.(check int) "0.5 -> bucket 0" 0 (St.Histogram.bucket_index h 0.5);
+  Alcotest.(check int) "1 -> bucket 1" 1 (St.Histogram.bucket_index h 1.);
+  Alcotest.(check int) "2 -> bucket 2" 2 (St.Histogram.bucket_index h 2.);
+  Alcotest.(check int) "3 -> bucket 2" 2 (St.Histogram.bucket_index h 3.);
+  Alcotest.(check int) "127 -> bucket 7" 7 (St.Histogram.bucket_index h 127.);
+  Alcotest.(check int) "128 overflows" 8 (St.Histogram.bucket_index h 128.);
+  Alcotest.(check int) "negative underflows" (-1) (St.Histogram.bucket_index h (-1.));
+  let lo, hi = St.Histogram.bucket_bounds h 3 in
+  Alcotest.(check (pair (float 0.0) (float 0.0))) "bucket 3 = [4,8)" (4., 8.) (lo, hi)
+
+let test_trace_fault_latency_top_edge () =
+  let c = Trace.start () in
+  Trace.fault ~task:1 ~vpn:0 ~kind:Hipec_trace.Event.Hipec ~latency_ns:15_999_999;
+  Trace.fault ~task:1 ~vpn:1 ~kind:Hipec_trace.Event.Hipec ~latency_ns:16_000_000;
+  ignore (Trace.stop ());
+  let buckets, overflow = Trace.fault_latency_buckets c in
+  Alcotest.(check int) "just under 16ms in last bucket" 1 buckets.(15);
+  Alcotest.(check int) "exactly 16ms overflows" 1 overflow
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic snapshots                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_scenario_under_registry name =
+  let scenario =
+    match Trace_run.scenario_of_name name with
+    | Some s -> s
+    | None -> Alcotest.failf "unknown scenario %s" name
+  in
+  let reg = Mx.install () in
+  Fun.protect
+    ~finally:(fun () -> ignore (Mx.uninstall ()))
+    (fun () ->
+      match Trace_run.run_scenario scenario with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" name e);
+  reg
+
+let test_snapshot_deterministic () =
+  let snap () =
+    Mx.Registry.to_json ~wall:false (run_scenario_under_registry "policy")
+  in
+  let a = snap () and b = snap () in
+  Alcotest.(check string) "identical seeded runs serialize identically" a b;
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "wall fields segregated" false (contains a "wall_ns")
+
+(* ------------------------------------------------------------------ *)
+(* Profiler: attribution and backend agreement                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_profiler_attribution () =
+  let reg = Mx.install () in
+  let run = Option.get (Mx.profile_begin ~backend:"test" ~container:1 ~sim_ns:100) in
+  Mx.profile_step run ~opcode:3 ~sim_ns:150;
+  (* 50 ns of dispatch before the first fetch -> overhead *)
+  Mx.profile_step run ~opcode:5 ~sim_ns:175;
+  (* the 25 ns since the opcode-3 boundary belong to opcode 3 *)
+  Mx.profile_end run ~sim_ns:200;
+  (* and the tail to opcode 5 *)
+  ignore (Mx.uninstall ());
+  let p = Mx.Registry.profile reg ~backend:"test" ~container:1 in
+  let cells = Mx.Profile.cells p in
+  Alcotest.(check int) "overhead sim" 50 (Mx.Profile.overhead p).Mx.Profile.sim_ns;
+  Alcotest.(check int) "op3 count" 1 cells.(3).Mx.Profile.count;
+  Alcotest.(check int) "op3 sim" 25 cells.(3).Mx.Profile.sim_ns;
+  Alcotest.(check int) "op5 count" 1 cells.(5).Mx.Profile.count;
+  Alcotest.(check int) "op5 sim" 25 cells.(5).Mx.Profile.sim_ns;
+  Alcotest.(check int) "sim total telescopes" 100 (Mx.Profile.sim_total p);
+  Alcotest.(check int) "runs" 1 (Mx.Profile.runs p)
+
+let with_backend b f =
+  let saved = Executor.default_backend () in
+  Executor.set_default_backend b;
+  Fun.protect ~finally:(fun () -> Executor.set_default_backend saved) f
+
+(* Run [name] under both executors into one registry; their per-opcode
+   simulated attributions must agree cell for cell (the boundary timers
+   sit at identical simulated instants in both prologues). *)
+let check_backends_agree name () =
+  let scenario =
+    match Trace_run.scenario_of_name name with
+    | Some s -> s
+    | None -> Alcotest.failf "unknown scenario %s" name
+  in
+  let reg = Mx.install () in
+  Fun.protect
+    ~finally:(fun () -> ignore (Mx.uninstall ()))
+    (fun () ->
+      List.iter
+        (fun b ->
+          with_backend b (fun () ->
+              match Trace_run.run_scenario scenario with
+              | Ok () -> ()
+              | Error e -> Alcotest.failf "%s: %s" name e))
+        [ Executor.Interp; Executor.Compiled ]);
+  match
+    ( Mx.Registry.profile_totals reg ~backend:"interp",
+      Mx.Registry.profile_totals reg ~backend:"compiled" )
+  with
+  | Some (ci, oi, ri), Some (cc, oc, rc) ->
+      Alcotest.(check int) "runs" ri rc;
+      Alcotest.(check int) "overhead sim" oi.Mx.Profile.sim_ns oc.Mx.Profile.sim_ns;
+      Array.iteri
+        (fun i (c : Mx.Profile.cell) ->
+          Alcotest.(check int) (Printf.sprintf "op %d count" i) c.Mx.Profile.count
+            cc.(i).Mx.Profile.count;
+          Alcotest.(check int) (Printf.sprintf "op %d sim_ns" i) c.Mx.Profile.sim_ns
+            cc.(i).Mx.Profile.sim_ns)
+        ci;
+      Alcotest.(check bool) "commands were profiled" true
+        (Array.exists (fun (c : Mx.Profile.cell) -> c.Mx.Profile.count > 0) ci)
+  | _ -> Alcotest.fail "a backend left no profile"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "metrics"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "kinds and lookups" `Quick test_registry_kinds;
+          Alcotest.test_case "series downsampling" `Quick test_series_downsampling;
+          Alcotest.test_case "zero cost when disabled" `Quick test_zero_cost_when_disabled;
+        ] );
+      ( "percentiles",
+        Alcotest.test_case "handworked" `Quick test_percentile_handworked
+        :: qc [ prop_percentile_vs_oracle ] );
+      ( "boundaries",
+        [
+          Alcotest.test_case "fixed histogram top edge" `Quick test_fixed_histogram_top_edge;
+          Alcotest.test_case "log histogram bucket edges" `Quick
+            test_log_histogram_bucket_edges;
+          Alcotest.test_case "trace fault latency top edge" `Quick
+            test_trace_fault_latency_top_edge;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "seeded snapshot byte-stable" `Quick test_snapshot_deterministic ] );
+      ( "profiler",
+        [
+          Alcotest.test_case "boundary-timer attribution" `Quick test_profiler_attribution;
+          Alcotest.test_case "backends agree on policy scenario" `Quick
+            (check_backends_agree "policy");
+          Alcotest.test_case "backends agree on join-small" `Quick
+            (check_backends_agree "join-small");
+        ] );
+    ]
