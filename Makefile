@@ -1,4 +1,4 @@
-.PHONY: all test bench examples clean quick-bench chaos oracle golden backend-bench metrics-bench ci
+.PHONY: all test bench examples clean quick-bench chaos oracle golden backend-bench metrics-bench storm storm-bench ci
 
 all:
 	dune build @all
@@ -26,10 +26,20 @@ backend-bench:
 metrics-bench:
 	dune exec bench/main.exe -- metrics
 
+# the multi-tenant overload storm at smoke scale (100 tenants); exits
+# nonzero on a conservation break, audit violation or honest starvation
+storm:
+	dune exec bin/hipec_cli.exe -- storm --smoke
+
+# storm isolation metrics under both backends; fails on digest
+# instability or backend divergence and rewrites BENCH_5.json
+storm-bench:
+	dune exec bench/main.exe -- storm --quick
+
 # What CI runs: full build, the whole test suite (which includes the
-# oracle and golden suites), the chaos acceptance checks at smoke
-# scale, and the backend equivalence bench.
-ci: all test oracle golden chaos backend-bench metrics-bench
+# oracle, golden and storm suites), the chaos and storm acceptance
+# checks at smoke scale, and the backend equivalence benches.
+ci: all test oracle golden chaos storm backend-bench metrics-bench storm-bench
 
 bench:
 	dune exec bench/main.exe

@@ -679,6 +679,113 @@ let metrics_bench ~quick:_ () =
   Printf.printf "\n  wrote %s\n\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Storm: multi-tenant overload protection (BENCH_5.json)              *)
+(* ------------------------------------------------------------------ *)
+
+let storm_bench ~quick () =
+  header "Storm: multi-tenant overload protection and isolation (BENCH_5.json)";
+  let with_backend b f =
+    let saved = Executor.default_backend () in
+    Executor.set_default_backend b;
+    Fun.protect ~finally:(fun () -> Executor.set_default_backend saved) f
+  in
+  (* digest checks only make sense when each run owns its collector; an
+     outer --trace collector makes the digests cumulative *)
+  let own_digests = not (Hipec_trace.Trace.on ()) in
+  let scales =
+    if quick then [ Storm.smoke ] else [ Storm.smoke; Storm.full ]
+  in
+  Printf.printf "  %-8s %-10s %12s %14s %14s %10s %10s  %s\n" "tenants" "variant"
+    "faults/sec" "honest p99 ns" "isolation" "throttles" "seizures" "digest";
+  let rows =
+    List.map
+      (fun config ->
+        let timed f =
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          (r, (Unix.gettimeofday () -. t0) *. 1e9)
+        in
+        let r1, wall_ns = timed (fun () -> with_backend Executor.Interp (fun () -> Storm.run config)) in
+        let r2 = with_backend Executor.Interp (fun () -> Storm.run config) in
+        let rc = with_backend Executor.Compiled (fun () -> Storm.run config) in
+        let baseline =
+          with_backend Executor.Interp (fun () ->
+              Storm.run { config with Storm.greedy_every = 0; erring_every = 0 })
+        in
+        let digest_stable = (not own_digests) || r1.Storm.digest = r2.Storm.digest in
+        let backend_match = (not own_digests) || r1.Storm.digest = rc.Storm.digest in
+        (* honest tail latency relative to the greedy-free control run:
+           the isolation ratio the storm suite bounds at 3x *)
+        let isolation_ratio =
+          if baseline.Storm.honest_p99_ns > 0 then
+            float_of_int r1.Storm.honest_p99_ns
+            /. float_of_int baseline.Storm.honest_p99_ns
+          else 0.
+        in
+        List.iter
+          (fun (variant, (r : Storm.result)) ->
+            Printf.printf "  %-8d %-10s %12.0f %14d %13.2fx %10d %10d  %s\n"
+              r.Storm.tenants variant r.Storm.faults_per_sec r.Storm.honest_p99_ns
+              (if variant = "storm" then isolation_ratio else 1.0)
+              r.Storm.throttles_entered r.Storm.emergency_seizures r.Storm.digest)
+          [ ("storm", r1); ("baseline", baseline) ];
+        if own_digests then
+          Printf.printf "  %-8s %-10s digest %s across runs, %s across backends\n" ""
+            ""
+            (if digest_stable then "STABLE" else "UNSTABLE")
+            (if backend_match then "MATCH" else "MISMATCH");
+        if not digest_stable then
+          failwith
+            (Printf.sprintf "storm digest unstable across runs at %d tenants"
+               config.Storm.tenants);
+        if not backend_match then
+          failwith
+            (Printf.sprintf "storm digest diverged across backends at %d tenants"
+               config.Storm.tenants);
+        (config, r1, baseline, isolation_ratio, digest_stable, backend_match, wall_ns))
+      scales
+  in
+  let path = "BENCH_5.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"bench\": \"storm\",\n  \"quick\": %b,\n  \"scales\": [\n"
+        quick;
+      List.iteri
+        (fun i
+             ( (config : Storm.config),
+               (r : Storm.result),
+               (b : Storm.result),
+               ratio,
+               stable,
+               bmatch,
+               wall_ns ) ->
+          Printf.fprintf oc
+            "    { \"tenants\": %d,\n\
+            \      \"admitted\": %d, \"shed\": %d, \"honest_alive\": %d,\n\
+            \      \"faults\": %d, \"faults_per_sec\": %.0f, \"wall_ns\": %.0f,\n\
+            \      \"honest_p50_ns\": %d, \"honest_p99_ns\": %d, \"greedy_p99_ns\": %d,\n\
+            \      \"baseline_honest_p99_ns\": %d, \"isolation_ratio\": %.3f,\n\
+            \      \"throttles_entered\": %d, \"throttles_exited\": %d,\n\
+            \      \"emergency_seizures\": %d, \"emergency_frames\": %d,\n\
+            \      \"admissions_rejected\": %d, \"demotions\": %d,\n\
+            \      \"pressure_changes\": %d, \"peak_level\": \"%s\",\n\
+            \      \"audit_violations\": %d, \"conservation_ok\": %b,\n\
+            \      \"digest\": \"%s\", \"digest_stable\": %b, \"backend_match\": %b }%s\n"
+            config.Storm.tenants r.Storm.admitted r.Storm.shed r.Storm.honest_alive
+            r.Storm.total_faults r.Storm.faults_per_sec wall_ns r.Storm.honest_p50_ns
+            r.Storm.honest_p99_ns r.Storm.greedy_p99_ns b.Storm.honest_p99_ns ratio
+            r.Storm.throttles_entered r.Storm.throttles_exited r.Storm.emergency_seizures
+            r.Storm.emergency_frames r.Storm.admissions_rejected r.Storm.demotions
+            r.Storm.pressure_changes r.Storm.peak_level r.Storm.audit_violations
+            r.Storm.conservation_ok r.Storm.digest stable bmatch
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n}\n");
+  Printf.printf "\n  wrote %s\n\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: wall-clock micro-benchmarks of this implementation        *)
 (* ------------------------------------------------------------------ *)
 
@@ -774,6 +881,7 @@ let all_benches =
     ("ablation-readahead", ablation_readahead);
     ("mechanism", mechanism);
     ("chaos", chaos);
+    ("storm", storm_bench);
     ("backend", backend_bench);
     ("metrics", metrics_bench);
     ("bechamel", bechamel);

@@ -422,8 +422,8 @@ let scenario_args =
     Arg.(value & opt (some string) None
         & info [ "scenario" ]
             ~docv:"NAME"
-            ~doc:"Named scenario: policy|join-small|aim-small|chaos-smoke. Overrides the \
-                  pattern options.")
+            ~doc:"Named scenario: policy|join-small|aim-small|chaos-smoke|storm-smoke. \
+                  Overrides the pattern options.")
   in
   let pattern =
     Arg.(value & opt string Trace_run.default_policy_cfg.Trace_run.pattern
@@ -618,6 +618,21 @@ let sim_totals_agree reg backends =
       Some !agree
   | _ -> None
 
+(* Fuel attribution must be backend-independent: with both backends run,
+   the hipec.fuel.<backend>.commands counters must agree exactly (the
+   ledger charges Container.commands_interpreted deltas, which both
+   backends increment identically).  [None] unless both counters exist. *)
+let fuel_totals_agree reg backends =
+  match
+    List.map
+      (fun b ->
+        Mx.Registry.counter_value reg
+          ("hipec.fuel." ^ Executor.backend_name b ^ ".commands"))
+      backends
+  with
+  | [ Some a; Some b ] -> Some (a = b)
+  | _ -> None
+
 let print_stat_tables reg backends =
   print_endline "metrics";
   List.iter
@@ -739,10 +754,15 @@ let stat_cmd =
               1
           | Ok () ->
               let agree = sim_totals_agree reg backends in
+              let fuel_agree = fuel_totals_agree reg backends in
               if json then
-                Printf.printf "{\"scenario\":%S,\"sim_totals_equal\":%s,\"metrics\":%s}\n"
+                Printf.printf
+                  "{\"scenario\":%S,\"sim_totals_equal\":%s,\"fuel_totals_equal\":%s,\"metrics\":%s}\n"
                   (scenario_name scenario)
                   (match agree with
+                  | Some b -> string_of_bool b
+                  | None -> "null")
+                  (match fuel_agree with
                   | Some b -> string_of_bool b
                   | None -> "null")
                   (Mx.Registry.to_json ~opcode_name:opcode_label reg)
@@ -756,12 +776,19 @@ let stat_cmd =
                 | Some false ->
                     print_endline "\nper-opcode simulated totals: BACKEND MISMATCH"
                 | None -> ());
+                (match fuel_agree with
+                | Some true -> print_endline "fuel attribution: backends agree"
+                | Some false -> print_endline "fuel attribution: BACKEND MISMATCH"
+                | None -> ());
                 if watch then print_stat_watch reg
               end;
-              (match agree with
-              | Some false ->
+              (match (agree, fuel_agree) with
+              | Some false, _ ->
                   Printf.eprintf
                     "interp and compiled disagree on per-opcode simulated cycles\n";
+                  1
+              | _, Some false ->
+                  Printf.eprintf "interp and compiled disagree on fuel attribution\n";
                   1
               | _ -> 0)
         end
@@ -825,6 +852,73 @@ let chaos_cmd =
           auditor finds an invariant violation.")
     Term.(const run $ smoke $ seed $ rate)
 
+(* ------------------------------------------------------------------ *)
+(* storm                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let storm_cmd =
+  let smoke =
+    Arg.(value & flag
+        & info [ "smoke" ] ~doc:"100-tenant variant for CI (default is 1000 tenants).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Deterministic seed.")
+  in
+  let tenants =
+    Arg.(value & opt (some int) None
+        & info [ "tenants" ] ~docv:"N" ~doc:"Override the tenant count.")
+  in
+  let no_overload =
+    Arg.(value & flag
+        & info [ "no-overload" ]
+            ~doc:
+              "Disable the overload-protection stack (pressure levels, fuel ledger, \
+               admission governor) — the unprotected baseline.")
+  in
+  let baseline =
+    Arg.(value & flag
+        & info [ "baseline" ]
+            ~doc:"Greedy- and erring-free control run (all tenants honest).")
+  in
+  let fuel_quota =
+    Arg.(value & opt (some int) None
+        & info [ "fuel-quota" ] ~docv:"N"
+            ~doc:"Per-tenant command budget per fuel window (0 disables the ledger).")
+  in
+  let run smoke seed tenants no_overload baseline fuel_quota =
+    let base = if smoke then Storm.smoke else Storm.full in
+    let config =
+      {
+        base with
+        Storm.seed;
+        tenants = Option.value tenants ~default:base.Storm.tenants;
+        overload = base.Storm.overload && not no_overload;
+        greedy_every = (if baseline then 0 else base.Storm.greedy_every);
+        erring_every = (if baseline then 0 else base.Storm.erring_every);
+        fuel_quota =
+          (match fuel_quota with Some q -> Some q | None -> base.Storm.fuel_quota);
+      }
+    in
+    let r = Storm.run config in
+    Format.printf "%a@.@." Storm.pp_result r;
+    print_endline r.Storm.kstat;
+    (* honest tenants must survive the storm with the books balanced *)
+    if
+      r.Storm.conservation_ok && r.Storm.audit_violations = 0
+      && r.Storm.honest_alive > 0
+    then 0
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "storm"
+       ~doc:
+         "Run the multi-tenant storm: hundreds to thousands of containers with mixed \
+          honest/greedy/erring policies faulting under disk-fault traffic, with the \
+          overload-protection stack engaged (pressure levels, per-tenant fuel \
+          throttling, admission shedding, emergency seizure).  Exits nonzero on a \
+          frame-conservation or isolation violation, or if no honest tenant survives.")
+    Term.(const run $ smoke $ seed $ tenants $ no_overload $ baseline $ fuel_quota)
+
 let () =
   (* HIPEC_LOG=debug|info|warning|error turns on kernel/manager/checker
      logging through the Logs reporter *)
@@ -846,5 +940,5 @@ let () =
        (Cmd.group ~default info
           [
             translate_cmd; check_cmd; assemble_cmd; disassemble_cmd; advise_cmd; join_cmd;
-            aim_cmd; table3_cmd; table4_cmd; trace_cmd; stat_cmd; chaos_cmd;
+            aim_cmd; table3_cmd; table4_cmd; trace_cmd; stat_cmd; chaos_cmd; storm_cmd;
           ]))

@@ -23,6 +23,24 @@ let kernel t = t.kernel
 let manager t = t.manager
 let checker t = t.checker
 
+(* One-call overload protection: engage the kernel's pressure controller,
+   subscribe the frame manager (emergency seizure, admission draining)
+   and arm the per-tenant fuel ledger.  The default quota extends the
+   executor's per-run step budget into the window: a tenant may burn up
+   to four full runs' worth of commands per window before throttling. *)
+let enable_overload ?pressure_window ?rate_threshold ?fuel_quota ?fuel_window
+    ?fuel_cooldown t =
+  ignore
+    (Kernel.enable_pressure ?window:pressure_window ?rate_threshold t.kernel);
+  Frame_manager.attach_pressure t.manager;
+  let quota =
+    match fuel_quota with
+    | Some q -> q
+    | None -> 4 * Executor.max_steps (Frame_manager.executor t.manager)
+  in
+  Frame_manager.set_fuel_policy ~quota ?window:fuel_window ?cooldown:fuel_cooldown
+    t.manager
+
 type spec = {
   policy : Program.t;
   min_frames : int;

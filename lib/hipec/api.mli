@@ -32,6 +32,23 @@ val kernel : t -> Kernel.t
 val manager : t -> Frame_manager.t
 val checker : t -> Checker.t
 
+val enable_overload :
+  ?pressure_window:Sim_time.t ->
+  ?rate_threshold:float ->
+  ?fuel_quota:int ->
+  ?fuel_window:Sim_time.t ->
+  ?fuel_cooldown:Sim_time.t ->
+  t ->
+  unit
+(** Engage the overload-protection stack in one call: the kernel's
+    memory-pressure controller ({!Kernel.enable_pressure}), the frame
+    manager's pressure subscription (emergency seizure at [Emergency],
+    admission draining on recovery — {!Frame_manager.attach_pressure})
+    and the per-tenant fuel ledger ({!Frame_manager.set_fuel_policy}).
+    [fuel_quota] defaults to 4x the executor's per-run step budget.
+    Call at most once per [t]; everything is off until this is called,
+    so existing runs are byte-identical. *)
+
 (** What a specific application passes to the HiPEC system calls. *)
 type spec = {
   policy : Program.t;

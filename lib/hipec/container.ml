@@ -1,7 +1,10 @@
 open Hipec_sim
 open Hipec_vm
 
-type state = Active | Degraded of { reason : string; at : Sim_time.t }
+type state =
+  | Active
+  | Throttled of { since : Sim_time.t; until : Sim_time.t; fuel : int }
+  | Degraded of { reason : string; at : Sim_time.t }
 
 type t = {
   id : int;
@@ -18,6 +21,12 @@ type t = {
   mutable state : state;
   mutable events_run : int;
   mutable commands_interpreted : int;
+  (* fuel ledger: commands burned inside the current accounting window,
+     maintained by the frame manager when fuel quotas are engaged *)
+  mutable fuel_window_start : Sim_time.t;
+  mutable fuel_used : int;
+  mutable throttles : int;
+  mutable cooldown_level : int;
 }
 
 let next_id = ref 0
@@ -39,6 +48,10 @@ let create ~task ~obj ~region ~program ~operands ~queues ~min_frames () =
     state = Active;
     events_run = 0;
     commands_interpreted = 0;
+    fuel_window_start = Sim_time.zero;
+    fuel_used = 0;
+    throttles = 0;
+    cooldown_level = 0;
   }
 
 let id t = t.id
@@ -64,22 +77,56 @@ let set_execution_started t v = t.execution_started <- v
 let timed_out t = t.timed_out
 let set_timed_out t = t.timed_out <- true
 let state t = t.state
-let degraded t = match t.state with Degraded _ -> true | Active -> false
+let degraded t = match t.state with Degraded _ -> true | Active | Throttled _ -> false
+let throttled t = match t.state with Throttled _ -> true | Active | Degraded _ -> false
+
+let throttled_until t =
+  match t.state with Throttled { until; _ } -> Some until | Active | Degraded _ -> None
 
 let degraded_reason t =
-  match t.state with Degraded { reason; _ } -> Some reason | Active -> None
+  match t.state with
+  | Degraded { reason; _ } -> Some reason
+  | Active | Throttled _ -> None
 
 let set_degraded t ~reason ~at =
   match t.state with
   | Degraded _ -> ()  (* first demotion wins *)
-  | Active -> t.state <- Degraded { reason; at }
+  (* demotion is permanent and wins over a temporary throttle *)
+  | Active | Throttled _ -> t.state <- Degraded { reason; at }
+
+let set_throttled t ~since ~until =
+  match t.state with
+  | Active ->
+      t.state <- Throttled { since; until; fuel = t.fuel_used };
+      t.throttles <- t.throttles + 1
+  | Throttled _ | Degraded _ -> ()
+
+let clear_throttled t =
+  match t.state with
+  | Throttled _ -> t.state <- Active
+  | Active | Degraded _ -> ()
 let events_run t = t.events_run
 let count_event_run t = t.events_run <- t.events_run + 1
 let commands_interpreted t = t.commands_interpreted
 let count_commands t n = t.commands_interpreted <- t.commands_interpreted + n
 
+let fuel_window_start t = t.fuel_window_start
+let fuel_used t = t.fuel_used
+let throttles t = t.throttles
+let cooldown_level t = t.cooldown_level
+let set_cooldown_level t v = t.cooldown_level <- max 0 v
+
+let reset_fuel_window t ~at =
+  t.fuel_window_start <- at;
+  t.fuel_used <- 0
+
+let burn_fuel t n = t.fuel_used <- t.fuel_used + n
+
 let pp fmt t =
   Format.fprintf fmt "container#%d(task=%s,frames=%d,min=%d%s%s)" t.id (Task.name t.task)
     t.frames_held t.min_frames
     (if t.timed_out then ",TIMED-OUT" else "")
-    (match t.state with Degraded _ -> ",DEGRADED" | Active -> "")
+    (match t.state with
+    | Degraded _ -> ",DEGRADED"
+    | Throttled _ -> ",THROTTLED"
+    | Active -> "")

@@ -53,20 +53,56 @@ val set_execution_started : t -> Sim_time.t option -> unit
 val timed_out : t -> bool
 val set_timed_out : t -> unit
 
-(** {1 Degradation (policy fallback)} *)
+(** {1 Degradation and throttling} *)
 
 type state =
   | Active  (** the policy handles this region's faults *)
+  | Throttled of { since : Sim_time.t; until : Sim_time.t; fuel : int }
+      (** the tenant burned fuel faster than its quota: its policy is
+          bypassed (faults served by the kernel-run default policy over
+          its own lists) until the cooldown expires at [until].  Unlike
+          {!Degraded} this is temporary — the container keeps its frames
+          and its admission, and recovers automatically. *)
   | Degraded of { reason : string; at : Sim_time.t }
       (** the policy erred or ran away: the region fell back to the
-          kernel's default pageout policy at [at] *)
+          kernel's default pageout policy at [at], permanently *)
 
 val state : t -> state
 val degraded : t -> bool
+(** True only for {!Degraded} — a throttled container is not degraded. *)
+
+val throttled : t -> bool
+val throttled_until : t -> Sim_time.t option
 val degraded_reason : t -> string option
 
 val set_degraded : t -> reason:string -> at:Sim_time.t -> unit
-(** Record the fallback; only the first demotion's reason is kept. *)
+(** Record the fallback; only the first demotion's reason is kept.
+    Demotion is permanent: it also overrides a live throttle. *)
+
+val set_throttled : t -> since:Sim_time.t -> until:Sim_time.t -> unit
+(** Enter the throttled state (no-op unless currently [Active]);
+    snapshots the window's fuel and counts the throttle. *)
+
+val clear_throttled : t -> unit
+(** Return to [Active] (no-op unless currently [Throttled]). *)
+
+(** {1 Fuel ledger (windowed command budget)} *)
+
+val fuel_window_start : t -> Sim_time.t
+val fuel_used : t -> int
+(** Commands interpreted/executed during the current window. *)
+
+val burn_fuel : t -> int -> unit
+val reset_fuel_window : t -> at:Sim_time.t -> unit
+
+val throttles : t -> int
+(** Times this container has entered {!state.Throttled}. *)
+
+val cooldown_level : t -> int
+(** Hysteresis: doubles the cooldown on rapid re-throttle, decays on
+    clean windows.  Maintained by the frame manager. *)
+
+val set_cooldown_level : t -> int -> unit
 
 (** {1 Accounting} *)
 

@@ -60,6 +60,7 @@ let create ?(max_steps = 100_000) ?(max_activation_depth = 16) ?backend ~engine 
 
 let commands_executed t = !(t.counter)
 let backend t = t.backend
+let max_steps t = t.max_steps
 
 let compiled_for t container =
   let key = Container.id container in

@@ -98,3 +98,7 @@ val forget : t -> Container.t -> unit
 
 val commands_executed : t -> int
 (** Total across all runs (instrumentation). *)
+
+val max_steps : t -> int
+(** The per-run step budget both backends enforce; the frame manager's
+    fuel ledger derives its default windowed quota from it. *)

@@ -5,6 +5,7 @@ let log = Logs.Src.create "hipec.manager" ~doc:"global frame manager"
 
 module Log = (val Logs.src_log log : Logs.LOG)
 module Tr = Hipec_trace.Trace
+module T = Hipec_sim.Sim_time
 
 type stats = {
   mutable requests_granted : int;
@@ -15,7 +16,23 @@ type stats = {
   mutable forced_seizures : int;
   mutable flush_writes : int;
   mutable demotions : int;
+  mutable admissions_queued : int;
+  mutable admissions_rejected : int;
+  mutable throttles_entered : int;
+  mutable throttles_exited : int;
+  mutable emergency_seizures : int;
+  mutable emergency_frames : int;
 }
+
+type admission_error =
+  | Overloaded of Pressure.level
+  | No_memory of string
+
+let admission_error_message = function
+  | Overloaded level ->
+      Printf.sprintf "frame manager: admission shed (pressure %s)"
+        (Pressure.level_name level)
+  | No_memory msg -> msg
 
 type t = {
   kernel : Kernel.t;
@@ -23,6 +40,12 @@ type t = {
   mutable containers : Container.t list;  (* FAFR: oldest first *)
   mutable partition_burst : int;
   mutable specific_total : int;
+  (* fuel ledger configuration; quota 0 disables the whole mechanism so
+     pre-existing runs are byte-identical *)
+  mutable fuel_quota : int;
+  mutable fuel_window : T.t;
+  mutable fuel_cooldown : T.t;
+  pending_admissions : Container.t Queue.t;
   stats : stats;
 }
 
@@ -35,6 +58,27 @@ let set_partition_burst t v = t.partition_burst <- v
 let specific_total t = t.specific_total
 let containers t = t.containers
 let stats t = t.stats
+let fuel_quota t = t.fuel_quota
+let fuel_window t = t.fuel_window
+let fuel_cooldown t = t.fuel_cooldown
+let pending_admissions t = Queue.length t.pending_admissions
+
+let set_fuel_policy ?quota ?window ?cooldown t =
+  (match quota with Some q -> t.fuel_quota <- max 0 q | None -> ());
+  (match window with Some w -> t.fuel_window <- w | None -> ());
+  (match cooldown with Some c -> t.fuel_cooldown <- c | None -> ())
+
+let pressure_level t = Kernel.pressure_level t.kernel
+
+(* Pressure-scaled burst watermark: under load the specific partition
+   shrinks, so greedy [Request] bursts hit the wall sooner.  Identical
+   to [partition_burst] while the controller is disengaged (Normal). *)
+let burst_limit t =
+  match pressure_level t with
+  | Pressure.Normal -> t.partition_burst
+  | Pressure.Elevated -> t.partition_burst * 3 / 4
+  | Pressure.Critical -> t.partition_burst / 2
+  | Pressure.Emergency -> t.partition_burst / 4
 
 (* Partition accounting gauges: the container's free-list depth and the
    manager's remaining partition_burst headroom, refreshed wherever
@@ -235,18 +279,92 @@ let seize_one t container ~flush_dirty =
 
 let same_container a b = Container.id a = Container.id b
 
+(* ------------------------------------------------------------------ *)
+(* Fuel ledger (per-tenant windowed command budget)                    *)
+(* ------------------------------------------------------------------ *)
+
+let fuel_enabled t = t.fuel_quota > 0
+
+(* Over-quota: bypass the tenant's policy for a cooldown.  The cooldown
+   doubles on every rapid re-offence (hysteresis, capped at 16x) and the
+   level decays one notch per clean window.  The tenant keeps its frames
+   and its admission — unlike demotion this is temporary.  We top its
+   list back up to [min_frames] first so the isolation invariant (a
+   throttled tenant still owns its guaranteed floor) holds even if its
+   policy had voluntarily released below the minimum. *)
+let enter_throttle t container =
+  let now = Kernel.now t.kernel in
+  let level = Container.cooldown_level container in
+  let cooldown = T.mul t.fuel_cooldown (1 lsl min 4 level) in
+  let deficit = Container.min_frames container - Container.frames_held container in
+  if deficit > 0 then ignore (grant_frames t container deficit);
+  if Container.frames_held container >= Container.min_frames container then begin
+    Container.set_cooldown_level container (level + 1);
+    Container.set_throttled container ~since:now ~until:(T.add now cooldown);
+    t.stats.throttles_entered <- t.stats.throttles_entered + 1;
+    Log.info (fun m ->
+        m "throttling %a: %d commands in window (quota %d), cooldown %a"
+          Container.pp container (Container.fuel_used container) t.fuel_quota T.pp
+          cooldown);
+    Tr.throttle ~container:(Container.id container) ~entered:true
+      ~fuel:(Container.fuel_used container);
+    if Mx.on () then Mx.incr "hipec.manager.throttles.entered"
+  end
+  (* could not restore the floor: leave the tenant active and retry on
+     the next charge rather than enter an invariant-violating throttle *)
+
+let exit_throttle t container =
+  Container.clear_throttled container;
+  Container.reset_fuel_window container ~at:(Kernel.now t.kernel);
+  t.stats.throttles_exited <- t.stats.throttles_exited + 1;
+  Tr.throttle ~container:(Container.id container) ~entered:false ~fuel:0;
+  if Mx.on () then Mx.incr "hipec.manager.throttles.exited"
+
+(* A throttle recovers by elapsed simulated time, checked wherever the
+   manager is about to act on the container. *)
+let maybe_recover t container =
+  match Container.throttled_until container with
+  | Some until when T.( >= ) (Kernel.now t.kernel) until -> exit_throttle t container
+  | Some _ | None -> ()
+
+let charge_fuel t container ~delta =
+  if fuel_enabled t && not (Container.degraded container) then begin
+    let now = Kernel.now t.kernel in
+    if T.( >= ) now (T.add (Container.fuel_window_start container) t.fuel_window)
+    then begin
+      (* window rotation; a clean window (under half quota) decays the
+         cooldown hysteresis *)
+      if Container.fuel_used container * 2 < t.fuel_quota then
+        Container.set_cooldown_level container (Container.cooldown_level container - 1);
+      Container.reset_fuel_window container ~at:now
+    end;
+    Container.burn_fuel container delta;
+    if Mx.on () && delta > 0 then
+      Mx.add
+        ("hipec.fuel." ^ Executor.backend_name (Executor.backend (executor t))
+       ^ ".commands")
+        delta;
+    if (not (Container.throttled container))
+       && Container.fuel_used container > t.fuel_quota
+    then enter_throttle t container
+  end
+
 let run_event_raw t container ~event =
-  if not (Tr.on ()) then Executor.run (executor t) container ~event
+  let metered = fuel_enabled t || Tr.on () in
+  if not metered then Executor.run (executor t) container ~event
   else begin
     let before = Container.commands_interpreted container in
     let outcome = Executor.run (executor t) container ~event in
-    Tr.policy_run ~container:(Container.id container) ~event
-      ~outcome:
-        (match outcome with
-        | Executor.Returned _ -> Hipec_trace.Event.Returned
-        | Executor.Runtime_error _ -> Hipec_trace.Event.Policy_error
-        | Executor.Timed_out -> Hipec_trace.Event.Policy_timeout)
-      ~commands:(Container.commands_interpreted container - before);
+    let delta = Container.commands_interpreted container - before in
+    if Tr.on () then
+      Tr.policy_run ~container:(Container.id container) ~event
+        ~outcome:
+          (match outcome with
+          | Executor.Returned _ -> Hipec_trace.Event.Returned
+          | Executor.Runtime_error _ -> Hipec_trace.Event.Policy_error
+          | Executor.Timed_out -> Hipec_trace.Event.Policy_timeout)
+        ~commands:delta;
+    charge_fuel t container ~delta;
     outcome
   end
 
@@ -366,15 +484,33 @@ let reclaim_from_specific t ~need ~exclude =
         let freed = Frame.Table.free_count tbl - start_free in
         if freed >= need then ()
         else begin
+          maybe_recover t c;
           let overage = Container.frames_held c - Container.min_frames c in
           let want = min overage (need - freed) in
-          (match Operand.write_int (Container.operands c) Operand.Std.reclaim_target want
-           with
-          | Ok () -> ()
-          | Error _ -> ());
-          t.stats.reclaim_events <- t.stats.reclaim_events + 1;
-          (match handle_outcome t c (run_event_raw t c ~event:Events.reclaim_frame) with
-          | Ok _ | Error (`Timed_out | `Demoted _) -> ());
+          if Container.throttled c then begin
+            (* never run a throttled tenant's policy: the manager seizes
+               directly, free slots first, never below the minimum *)
+            let rec take k =
+              if
+                k > 0
+                && Container.frames_held c > Container.min_frames c
+                && seize_one t c ~flush_dirty:true
+              then take (k - 1)
+            in
+            take want
+          end
+          else begin
+            (match Operand.write_int (Container.operands c) Operand.Std.reclaim_target
+                     want
+             with
+            | Ok () -> ()
+            | Error _ -> ());
+            t.stats.reclaim_events <- t.stats.reclaim_events + 1;
+            (match
+               handle_outcome t c (run_event_raw t c ~event:Events.reclaim_frame)
+             with
+            | Ok _ | Error (`Timed_out | `Demoted _) -> ())
+          end;
           walk rest
         end
   in
@@ -395,6 +531,10 @@ let forced_reclaim t ~need ~exclude =
               let rec take () =
                 if
                   Frame.Table.free_count tbl - start_free < need
+                  (* a throttled tenant cannot defend itself by policy,
+                     so forced seizure respects its guaranteed floor *)
+                  && ((not (Container.throttled c))
+                     || Container.frames_held c > Container.min_frames c)
                   && seize_one t c ~flush_dirty:true
                 then take ()
               in
@@ -463,29 +603,180 @@ let balance ?exclude t =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Public operations                                                   *)
+(* Overload protection: emergency seizure, admission governor          *)
 (* ------------------------------------------------------------------ *)
 
-let admit t container =
+(* Emergency: the kernel directs seizure from the fattest tenants —
+   bypassing (but tracing) their HiPEC policies — until the free pool is
+   back above the daemon's watermarks.  Never below a tenant's minimum:
+   the guaranteed floor survives even an Emergency. *)
+let emergency_seize t ~level =
+  let tbl = Kernel.frame_table t.kernel in
+  let daemon = Kernel.pageout t.kernel in
+  let target = Pageout.free_target daemon + Pageout.reserved daemon in
+  let overage c = Container.frames_held c - Container.min_frames c in
+  let victims =
+    List.filter (fun c -> overage c > 0 && Container.execution_started c = None)
+      t.containers
+    |> List.stable_sort (fun a b -> compare (overage b) (overage a))
+  in
+  List.iter
+    (fun c ->
+      if Frame.Table.free_count tbl < target then begin
+        let taken = ref 0 in
+        let rec take () =
+          if
+            Frame.Table.free_count tbl < target
+            && Container.frames_held c > Container.min_frames c
+            && seize_one t c ~flush_dirty:true
+          then begin
+            incr taken;
+            take ()
+          end
+        in
+        take ();
+        if !taken > 0 then begin
+          t.stats.emergency_seizures <- t.stats.emergency_seizures + 1;
+          t.stats.emergency_frames <- t.stats.emergency_frames + !taken;
+          Log.warn (fun m ->
+              m "emergency seizure: took %d frames from %a" !taken Container.pp c);
+          Tr.seize ~container:(Container.id c) ~frames:!taken
+            ~level:(Pressure.severity level);
+          if Mx.on () then begin
+            Mx.incr "hipec.manager.emergency_seizures";
+            Mx.add "hipec.manager.emergency_frames" !taken
+          end
+        end
+      end)
+    victims
+
+(* Admission under pressure: at Critical and above new tenants queue (or
+   are rejected with a typed reason) instead of carving up an already
+   starved pool. *)
+let critical_or_worse level = Pressure.severity level >= Pressure.severity Pressure.Critical
+
+let admit_now t container =
   let need = Container.min_frames container in
   Log.debug (fun m -> m "admission: %a wants %d frames" Container.pp container need);
   if not (ensure_free t ~need ~exclude:(Some container)) then
     Error
-      (Printf.sprintf "frame manager: cannot satisfy minFrame request of %d frames" need)
+      (No_memory
+         (Printf.sprintf "frame manager: cannot satisfy minFrame request of %d frames"
+            need))
   else begin
     (* the pool can still shrink between ensure_free and the
        allocation: a short grant rejects the admission, never crashes *)
     let got = grant_frames t container need in
     if got < need then
       Error
-        (Printf.sprintf
-           "frame manager: free pool shrank under minFrame request of %d frames" need)
+        (No_memory
+           (Printf.sprintf
+              "frame manager: free pool shrank under minFrame request of %d frames" need))
     else begin
       t.containers <- t.containers @ [ container ];
       balance t ~exclude:container;
       Ok ()
     end
   end
+
+let try_admit ?(queue = true) t container =
+  let level = pressure_level t in
+  if critical_or_worse level then
+    if queue then begin
+      Queue.add container t.pending_admissions;
+      t.stats.admissions_queued <- t.stats.admissions_queued + 1;
+      Log.info (fun m ->
+          m "admission of %a queued (pressure %s)" Container.pp container
+            (Pressure.level_name level));
+      if Mx.on () then Mx.incr "hipec.manager.admissions.queued";
+      Ok `Queued
+    end
+    else begin
+      t.stats.admissions_rejected <- t.stats.admissions_rejected + 1;
+      if Mx.on () then Mx.incr "hipec.manager.admissions.rejected";
+      Error (Overloaded level)
+    end
+  else
+    match admit_now t container with
+    | Ok () -> Ok `Admitted
+    | Error e ->
+        t.stats.admissions_rejected <- t.stats.admissions_rejected + 1;
+        if Mx.on () then Mx.incr "hipec.manager.admissions.rejected";
+        Error e
+
+let admit t container =
+  match try_admit ~queue:false t container with
+  | Ok `Admitted -> Ok ()
+  | Ok `Queued -> assert false  (* ~queue:false never queues *)
+  | Error e -> Error (admission_error_message e)
+
+(* Drain the admission queue once pressure recedes below Critical.
+   Tenants whose task died while waiting are dropped; a failed grant
+   counts as a rejection (the waiter is not re-queued — memory did not
+   recover enough). *)
+let drain_admissions t =
+  let rec loop () =
+    if (not (critical_or_worse (pressure_level t))) && not (Queue.is_empty t.pending_admissions)
+    then begin
+      let container = Queue.pop t.pending_admissions in
+      if Task.alive (Container.task container) && not (Container.degraded container)
+      then begin
+        match admit_now t container with
+        | Ok () ->
+            Log.info (fun m -> m "queued admission of %a granted" Container.pp container)
+        | Error e ->
+            t.stats.admissions_rejected <- t.stats.admissions_rejected + 1;
+            if Mx.on () then Mx.incr "hipec.manager.admissions.rejected";
+            Log.info (fun m ->
+                m "queued admission of %a rejected: %s" Container.pp container
+                  (admission_error_message e))
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+(* Wire the manager to the kernel's pressure controller (which must
+   already be enabled): entering Emergency triggers kernel-directed
+   seizure; receding below Critical drains queued admissions. *)
+let attach_pressure t =
+  match Kernel.pressure t.kernel with
+  | None -> invalid_arg "Frame_manager.attach_pressure: kernel pressure not enabled"
+  | Some p ->
+      Pressure.subscribe p (fun ~prev ~next ->
+          if
+            Pressure.severity next >= Pressure.severity Pressure.Emergency
+            && Pressure.severity prev < Pressure.severity Pressure.Emergency
+          then emergency_seize t ~level:next;
+          if not (critical_or_worse next) then drain_admissions t)
+
+(* Isolation invariants, exported as an {!Hipec_vm.Audit.register_check}
+   closure: the manager's specific accounting must agree with the sum of
+   container balances, and a throttled tenant must still own its
+   guaranteed floor (emergency seizure and forced reclaim both stop at
+   [min_frames]).  Violations name the offending container. *)
+let audit_check t () =
+  let violations = ref [] in
+  let add check detail = violations := (check, detail) :: !violations in
+  let sum =
+    List.fold_left (fun acc c -> acc + Container.frames_held c) 0 t.containers
+  in
+  if sum <> t.specific_total then
+    add "hipec-specific-total"
+      (Printf.sprintf "specific_total=%d but containers hold %d" t.specific_total sum);
+  List.iter
+    (fun c ->
+      if Container.throttled c && Container.frames_held c < Container.min_frames c
+      then
+        add "hipec-throttle-floor"
+          (Format.asprintf "%a holds %d < min %d while throttled" Container.pp c
+             (Container.frames_held c) (Container.min_frames c)))
+    t.containers;
+  List.rev !violations
+
+(* ------------------------------------------------------------------ *)
+(* Public operations                                                   *)
+(* ------------------------------------------------------------------ *)
 
 (* Grant policy (paper: "depending on the number of the remaining free
    page frames and the status of the requester"): a requester already
@@ -496,18 +787,21 @@ let request t container n =
   if n <= 0 then true
   else if not (Task.alive (Container.task container)) then false
   else begin
-    if t.specific_total + n > t.partition_burst then
+    (* under pressure the effective burst watermark shrinks, clamping
+       greedy tenants harder the hotter the machine runs *)
+    let burst = burst_limit t in
+    if t.specific_total + n > burst then
       ignore
         (reclaim_from_specific t
-           ~need:(t.specific_total + n - t.partition_burst)
+           ~need:(t.specific_total + n - burst)
            ~exclude:(Some container));
-    let over_burst = t.specific_total + n > t.partition_burst in
+    let over_burst = t.specific_total + n > burst in
     let above_min = Container.frames_held container > Container.min_frames container in
     if over_burst && above_min then begin
       t.stats.requests_rejected <- t.stats.requests_rejected + 1;
       Log.info (fun m ->
-          m "rejected request for %d frames from %a (over partition_burst %d)" n
-            Container.pp container t.partition_burst);
+          m "rejected request for %d frames from %a (over burst limit %d)" n
+            Container.pp container burst);
       false
     end
     else if not (ensure_free t ~need:n ~exclude:(Some container)) then begin
@@ -542,7 +836,75 @@ let run_event t container ~event =
   | Executor.Returned _ | Executor.Timed_out -> ());
   outcome
 
+(* Kernel-run default policy over a throttled container's own lists: a
+   free slot if any, else FIFO-second-chance over its inactive/active
+   queues.  The tenant's fuel stays cold (no policy commands run) but
+   its frames, queues and residency semantics are untouched, so the
+   throttle lifts into exactly the state the policy left behind. *)
+let default_policy_take t container =
+  let engine = Kernel.engine t.kernel and costs = Kernel.costs t.kernel in
+  let step () = Hipec_sim.Engine.advance engine costs.Costs.queue_op in
+  match Page_queue.dequeue_head (Container.free_queue container) with
+  | Some slot ->
+      step ();
+      Ok slot
+  | None -> (
+      let inactive = Container.inactive_queue container in
+      let active = Container.active_queue container in
+      let budget = 2 * (Page_queue.length inactive + Page_queue.length active) + 2 in
+      let rec scan budget =
+        if budget <= 0 then None
+        else begin
+          step ();
+          match Page_queue.dequeue_head inactive with
+          | None ->
+              if Page_queue.is_empty active then None
+              else begin
+                (match Page_queue.dequeue_head active with
+                | Some page ->
+                    Vm_page.clear_referenced page;
+                    Page_queue.enqueue_tail inactive page
+                | None -> ());
+                scan (budget - 1)
+              end
+          | Some page ->
+              if Vm_page.referenced page then begin
+                Vm_page.clear_referenced page;
+                Page_queue.enqueue_tail active page;
+                scan (budget - 1)
+              end
+              else begin
+                let was_dirty = Vm_page.dirty page in
+                (if was_dirty then
+                   match flush_bound_page t page with Ok () | Error _ -> ());
+                (match Vm_page.binding page with
+                | Some (oid, offset) -> (
+                    Tr.evict ~obj:oid ~offset ~dirty:was_dirty
+                      ~source:Hipec_trace.Event.Daemon;
+                    match Kernel.resolve_object t.kernel oid with
+                    | obj -> Vm_object.disconnect obj page
+                    | exception Not_found -> Vm_page.unbind page)
+                | None -> ());
+                Some page
+              end
+        end
+      in
+      match scan budget with
+      | Some page -> Ok page
+      | None -> (
+          (* nothing reclaimable in the tenant's own lists: one frame
+             from the pool keeps the fault progressing *)
+          match grant_frames t container 1 with
+          | 1 -> (
+              match Page_queue.dequeue_head (Container.free_queue container) with
+              | Some slot -> Ok slot
+              | None -> Error "throttled default policy: grant vanished")
+          | _ -> Error "throttled default policy: no reclaimable page and no memory"))
+
 let page_fault t container ~fault_va =
+  maybe_recover t container;
+  if Container.throttled container then default_policy_take t container
+  else
   let ops = Container.operands container in
   (match Operand.write_int ops Operand.Std.fault_va fault_va with
   | Ok () -> ()
@@ -590,6 +952,10 @@ let create ~kernel ?(burst_fraction = 0.5) ?max_steps ?backend () =
         int_of_float
           (burst_fraction *. float_of_int (Frame.Table.free_count (Kernel.frame_table kernel)));
       specific_total = 0;
+      fuel_quota = 0;
+      fuel_window = T.ms 10;
+      fuel_cooldown = T.ms 50;
+      pending_admissions = Queue.create ();
       stats =
         {
           requests_granted = 0;
@@ -600,6 +966,12 @@ let create ~kernel ?(burst_fraction = 0.5) ?max_steps ?backend () =
           forced_seizures = 0;
           flush_writes = 0;
           demotions = 0;
+          admissions_queued = 0;
+          admissions_rejected = 0;
+          throttles_entered = 0;
+          throttles_exited = 0;
+          emergency_seizures = 0;
+          emergency_frames = 0;
         };
     }
   in

@@ -41,7 +41,32 @@ val containers : t -> Container.t list
 val admit : t -> Container.t -> (unit, string) result
 (** Grant the container its [min_frames] private list, reclaiming from
     the default pool and then from older containers if needed; reject
-    when physical memory cannot cover the request. *)
+    when physical memory cannot cover the request — or, under
+    [Critical]+ memory pressure, shed the admission outright (see
+    {!try_admit} for the typed reason and the queueing variant). *)
+
+(** Why an admission was refused: shed by the admission governor under
+    pressure, or physical memory genuinely cannot cover [min_frames]. *)
+type admission_error =
+  | Overloaded of Pressure.level
+  | No_memory of string
+
+val admission_error_message : admission_error -> string
+
+val try_admit :
+  ?queue:bool ->
+  t ->
+  Container.t ->
+  ([ `Admitted | `Queued ], admission_error) result
+(** Admission with overload control: below [Critical] pressure this is
+    {!admit}.  At [Critical] and above the admission is queued (default)
+    or, with [~queue:false], rejected as {!admission_error.Overloaded}.
+    Queued admissions are granted in arrival order when pressure recedes
+    (see {!drain_admissions}, called automatically from the pressure
+    listener installed by {!attach_pressure}). *)
+
+val pending_admissions : t -> int
+val drain_admissions : t -> unit
 
 val remove_container : t -> Container.t -> flush_dirty:bool -> unit
 (** Tear a container down, returning every frame it holds.  With
@@ -97,6 +122,46 @@ val balance : ?exclude:Container.t -> t -> unit
 (** If [specific_total > partition_burst], reclaim the overage from
     containers holding more than their minimum (paper's Balance task). *)
 
+(** {1 Overload protection} *)
+
+val burst_limit : t -> int
+(** The effective burst watermark: [partition_burst] scaled down by the
+    current {!Hipec_vm.Pressure.level} (3/4 at [Elevated], 1/2 at
+    [Critical], 1/4 at [Emergency]).  Equal to {!partition_burst} while
+    the pressure controller is disengaged. *)
+
+val pressure_level : t -> Pressure.level
+
+val set_fuel_policy : ?quota:int -> ?window:Hipec_sim.Sim_time.t -> ?cooldown:Hipec_sim.Sim_time.t -> t -> unit
+(** Configure the per-tenant fuel ledger.  [quota] is the command budget
+    per accounting [window] (default 10 ms); 0 (the default) disables
+    fuel accounting entirely.  A tenant that burns more than [quota]
+    commands inside one window is {!Container.state.Throttled} for
+    [cooldown] (default 50 ms), doubled per rapid re-offence. *)
+
+val fuel_quota : t -> int
+val fuel_window : t -> Hipec_sim.Sim_time.t
+val fuel_cooldown : t -> Hipec_sim.Sim_time.t
+
+val emergency_seize : t -> level:Pressure.level -> unit
+(** Kernel-directed seizure from the largest-over-minimum tenants until
+    the free pool is back above the daemon watermarks — the policies are
+    bypassed but the seizures are traced ({!Hipec_trace.Event.Seize}).
+    Never takes a tenant below [min_frames]. *)
+
+val attach_pressure : t -> unit
+(** Subscribe the manager to the kernel's pressure controller (which
+    must already be enabled via {!Hipec_vm.Kernel.enable_pressure}):
+    entering [Emergency] triggers {!emergency_seize}; receding below
+    [Critical] drains queued admissions.  Raises [Invalid_argument] if
+    pressure is not enabled. *)
+
+val audit_check : t -> unit -> (string * string) list
+(** Isolation invariants for {!Hipec_vm.Audit.register_check}: specific
+    accounting agrees with the sum of container balances, and every
+    throttled tenant still owns at least [min_frames].  Violations name
+    the offending container. *)
+
 (** {1 Statistics} *)
 
 type stats = {
@@ -108,6 +173,12 @@ type stats = {
   mutable forced_seizures : int;
   mutable flush_writes : int;
   mutable demotions : int;
+  mutable admissions_queued : int;
+  mutable admissions_rejected : int;
+  mutable throttles_entered : int;
+  mutable throttles_exited : int;
+  mutable emergency_seizures : int;
+  mutable emergency_frames : int;
 }
 
 val stats : t -> stats

@@ -23,13 +23,17 @@ type payload =
   | Disk_io of { block : int; nblocks : int; write : bool; ok : bool }
   | Map_op of { vpn : int; enter : bool }
   | Task_kill of { task : int; reason : string }
+  | Pressure_change of { level : int; free : int }
+  | Throttle of { container : int; entered : bool; fuel : int }
+  | Seize of { container : int; frames : int; level : int }
 
 type t = { seq : int; time : Sim_time.t; payload : payload }
 
 let category_names =
   [|
     "access"; "fault"; "pagein"; "pageout"; "evict"; "grant"; "reclaim";
-    "policy"; "demote"; "io-retry"; "disk"; "map"; "kill";
+    "policy"; "demote"; "io-retry"; "disk"; "map"; "kill"; "pressure";
+    "throttle"; "seize";
   |]
 
 let num_categories = Array.length category_names
@@ -49,6 +53,9 @@ let tag = function
   | Disk_io _ -> 10
   | Map_op _ -> 11
   | Task_kill _ -> 12
+  | Pressure_change _ -> 13
+  | Throttle _ -> 14
+  | Seize _ -> 15
 
 (* ------------------------------------------------------------------ *)
 (* Binary codec: unsigned LEB128 varints, one tag byte per event       *)
@@ -151,6 +158,17 @@ let encode b ev =
   | Task_kill { task; reason } ->
       put_varint b task;
       put_string b reason
+  | Pressure_change { level; free } ->
+      put_byte b level;
+      put_varint b free
+  | Throttle { container; entered; fuel } ->
+      put_varint b container;
+      put_bool b entered;
+      put_varint b fuel
+  | Seize { container; frames; level } ->
+      put_varint b container;
+      put_varint b frames;
+      put_byte b level
 
 let get_byte s pos =
   if !pos >= String.length s then failwith "Event.decode: truncated stream";
@@ -239,6 +257,17 @@ let decode s ~pos ~seq =
     | 12 ->
         let task = get_varint s pos in
         Task_kill { task; reason = get_string s pos }
+    | 13 ->
+        let level = get_byte s pos in
+        Pressure_change { level; free = get_varint s pos }
+    | 14 ->
+        let container = get_varint s pos in
+        let entered = get_bool s pos in
+        Throttle { container; entered; fuel = get_varint s pos }
+    | 15 ->
+        let container = get_varint s pos in
+        let frames = get_varint s pos in
+        Seize { container; frames; level = get_byte s pos }
     | n -> failwith (Printf.sprintf "Event.decode: unknown tag %d" n)
   in
   { seq; time; payload }
@@ -272,6 +301,13 @@ let outcome_name = function
   | Policy_timeout -> "timeout"
 
 let source_name = function Policy -> "policy" | Daemon -> "daemon"
+
+let pressure_level_name = function
+  | 0 -> "normal"
+  | 1 -> "elevated"
+  | 2 -> "critical"
+  | 3 -> "emergency"
+  | n -> Printf.sprintf "level-%d" n
 
 let to_json b ev =
   let field_int k v = Buffer.add_string b (Printf.sprintf ",\"%s\":%d" k v) in
@@ -339,7 +375,18 @@ let to_json b ev =
       field_bool "enter" enter
   | Task_kill { task; reason } ->
       field_int "task" task;
-      field_str "reason" reason);
+      field_str "reason" reason
+  | Pressure_change { level; free } ->
+      field_str "level" (pressure_level_name level);
+      field_int "free" free
+  | Throttle { container; entered; fuel } ->
+      field_int "container" container;
+      field_bool "entered" entered;
+      field_int "fuel" fuel
+  | Seize { container; frames; level } ->
+      field_int "container" container;
+      field_int "frames" frames;
+      field_str "level" (pressure_level_name level));
   Buffer.add_char b '}'
 
 let pp fmt ev =
@@ -374,3 +421,12 @@ let pp fmt ev =
         (if ok then "ok" else "err")
   | Map_op { vpn; enter } -> p "%s vpn=%d" (if enter then "map     " else "unmap   ") vpn
   | Task_kill { task; reason } -> p "kill     task=%d: %s" task reason
+  | Pressure_change { level; free } ->
+      p "pressure %s free=%d" (pressure_level_name level) free
+  | Throttle { container; entered; fuel } ->
+      p "throttle container=%d %s fuel=%d" container
+        (if entered then "entered" else "exited")
+        fuel
+  | Seize { container; frames; level } ->
+      p "seize    container=%d frames=%d at %s" container frames
+        (pressure_level_name level)

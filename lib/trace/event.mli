@@ -45,6 +45,15 @@ type payload =
   | Disk_io of { block : int; nblocks : int; write : bool; ok : bool }
   | Map_op of { vpn : int; enter : bool }
   | Task_kill of { task : int; reason : string }
+  | Pressure_change of { level : int; free : int }
+      (** the kernel's memory-pressure severity moved to [level]
+          (0=normal .. 3=emergency) with [free] frames in the pool *)
+  | Throttle of { container : int; entered : bool; fuel : int }
+      (** a container crossed its fuel quota ([entered]) or finished its
+          cooldown ([not entered]); [fuel] is the window's command count *)
+  | Seize of { container : int; frames : int; level : int }
+      (** emergency, kernel-directed seizure: [frames] taken from the
+          container without running its policy, at pressure [level] *)
 
 type t = { seq : int; time : Sim_time.t; payload : payload }
 
@@ -55,6 +64,9 @@ val tag : payload -> int
 (** Category index of a payload, [0 .. num_categories-1]. *)
 
 val category_name : int -> string
+
+val pressure_level_name : int -> string
+(** ["normal" | "elevated" | "critical" | "emergency"] for 0..3. *)
 
 (** {1 Binary codec} *)
 

@@ -137,6 +137,19 @@ let map_op ~vpn ~enter = with_c (fun c -> push c (Event.Map_op { vpn; enter }))
 let kill ~task ~reason =
   with_c (fun c -> push c (Event.Task_kill { task = norm c space_task task; reason }))
 
+let pressure ~level ~free =
+  with_c (fun c -> push c (Event.Pressure_change { level; free }))
+
+let throttle ~container ~entered ~fuel =
+  with_c (fun c ->
+      push c
+        (Event.Throttle { container = norm c space_container container; entered; fuel }))
+
+let seize ~container ~frames ~level =
+  with_c (fun c ->
+      push c
+        (Event.Seize { container = norm c space_container container; frames; level }))
+
 (* ------------------------------------------------------------------ *)
 (* Inspection                                                          *)
 (* ------------------------------------------------------------------ *)

@@ -53,6 +53,14 @@ val disk_io : block:int -> nblocks:int -> write:bool -> ok:bool -> unit
 val map_op : vpn:int -> enter:bool -> unit
 val kill : task:int -> reason:string -> unit
 
+val pressure : level:int -> free:int -> unit
+(** Memory-pressure level change (0=normal .. 3=emergency); only emitted
+    while the overload subsystem is engaged, so recordings of scenarios
+    that never enable it are byte-identical to pre-overload streams. *)
+
+val throttle : container:int -> entered:bool -> fuel:int -> unit
+val seize : container:int -> frames:int -> level:int -> unit
+
 (** {1 Inspection} *)
 
 val events_seen : collector -> int

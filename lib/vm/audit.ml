@@ -16,6 +16,7 @@ type t = {
   period : Sim_time.t;
   raise_on_violation : bool;
   mutable extra_queues : Page_queue.t list;
+  mutable extra_checks : (string * (unit -> (string * string) list)) list;
   mutable running : bool;
   mutable pending : Engine.handle option;
   mutable sweeps : int;
@@ -28,6 +29,7 @@ let create ?(period = Sim_time.ms 500) ?(raise_on_violation = true) kernel =
     period;
     raise_on_violation;
     extra_queues = [];
+    extra_checks = [];
     running = false;
     pending = None;
     sweeps = 0;
@@ -41,6 +43,18 @@ let register_queue t q =
 let unregister_queue t q =
   t.extra_queues <-
     List.filter (fun q' -> Page_queue.id q' <> Page_queue.id q) t.extra_queues
+
+(* Layered invariants: the VM auditor cannot see HiPEC containers (the
+   dependency points the other way), so the hipec layer registers a
+   closure that re-derives its own invariants — e.g. "a throttled
+   container still owns its minimum frames" — and reports violations
+   naming the offending container. *)
+let register_check t ~name f =
+  if not (List.mem_assoc name t.extra_checks) then
+    t.extra_checks <- t.extra_checks @ [ (name, f) ]
+
+let unregister_check t ~name =
+  t.extra_checks <- List.filter (fun (n, _) -> n <> name) t.extra_checks
 
 (* One full consistency sweep.  Checks, in order:
    - the frame table's free-list conservation;
@@ -139,6 +153,10 @@ let sweep t =
                            (Task.name task) vpn (Frame.index frame)
                            (Frame.index (Vm_page.frame page))))))
     (Kernel.tasks k);
+  (* registered external checks (HiPEC isolation invariants) *)
+  List.iter
+    (fun (_, f) -> List.iter (fun (check, detail) -> add check detail) (f ()))
+    t.extra_checks;
   let violations = List.rev !out in
   t.sweeps <- t.sweeps + 1;
   t.violations_found <- t.violations_found + List.length violations;

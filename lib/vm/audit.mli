@@ -31,6 +31,18 @@ val register_queue : t -> Page_queue.t -> unit
 
 val unregister_queue : t -> Page_queue.t -> unit
 
+val register_check : t -> name:string -> (unit -> (string * string) list) -> unit
+(** Run an external invariant check on every sweep.  The closure
+    returns [(check, detail)] pairs for each violation it finds; they
+    are counted and reported like the auditor's own.  Used by the HiPEC
+    layer (which the VM auditor cannot depend on) to assert isolation
+    invariants — a [Throttled] container still owning ≥ its minimum
+    frames, emergency seizure never stripping a container below its
+    minimum — with the violating container named in [detail].
+    Idempotent per [name]. *)
+
+val unregister_check : t -> name:string -> unit
+
 val sweep : t -> violation list
 (** Run one full sweep now; returns (and counts) the violations found. *)
 

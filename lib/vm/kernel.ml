@@ -77,6 +77,9 @@ type t = {
   mutable access_recorder : (Task.t -> vpn:int -> write:bool -> unit) option;
   io_policy : Io_retry.policy;
   io_stats : Io_retry.stats;
+  (* overload protection: absent unless [enable_pressure] engages it, so
+     a plain kernel behaves — and traces — exactly as before *)
+  mutable pressure : Pressure.t option;
 }
 
 let create ?(config = default_config) () =
@@ -107,6 +110,7 @@ let create ?(config = default_config) () =
     access_recorder = None;
     io_policy = config.io_retry;
     io_stats = Io_retry.create_stats ();
+    pressure = None;
     stats =
       {
         faults = 0;
@@ -163,6 +167,41 @@ let stats t = t.stats
 let io_stats t = t.io_stats
 let io_policy t = t.io_policy
 let iter_objects t f = Hashtbl.iter (fun _ obj -> f obj) t.objects
+
+(* ------------------------------------------------------------------ *)
+(* Memory pressure (overload protection)                               *)
+(* ------------------------------------------------------------------ *)
+
+let pressure t = t.pressure
+let pressure_level t = match t.pressure with Some p -> Pressure.level p | None -> Pressure.Normal
+
+let check_pressure t =
+  match t.pressure with
+  | None -> ()
+  | Some p ->
+      let free = Frame.Table.free_count t.frame_table in
+      ignore
+        (Pressure.evaluate p ~free ~free_target:(Pageout.free_target t.pageout)
+           ~reserved:(Pageout.reserved t.pageout) ~now:(now t));
+      if Mx.on () then Mx.sample "vm.pressure.level.ts" (Pressure.severity (Pressure.level p))
+
+let enable_pressure ?window ?rate_threshold t =
+  match t.pressure with
+  | Some p -> p
+  | None ->
+      let p = Pressure.create ?window ?rate_threshold () in
+      (* the kernel's own listener runs before any later subscriber
+         (frame-manager seizure hooks): pageout urgency, trace, metrics *)
+      Pressure.subscribe p (fun ~prev:_ ~next ->
+          Pageout.set_urgency t.pageout (Pressure.severity next);
+          Tr.pressure ~level:(Pressure.severity next)
+            ~free:(Frame.Table.free_count t.frame_table);
+          if Mx.on () then begin
+            Mx.gauge_set "vm.pressure.level" (Pressure.severity next);
+            Mx.incr "vm.pressure.changes"
+          end);
+      t.pressure <- Some p;
+      p
 
 (* ------------------------------------------------------------------ *)
 (* Tasks                                                               *)
@@ -387,6 +426,9 @@ let prefetch t obj ~offset =
 let fault t task region ~vpn ~write =
   Task.count_fault task;
   t.stats.faults <- t.stats.faults + 1;
+  (match t.pressure with
+  | Some p -> Pressure.note_fault p ~now:(now t)
+  | None -> ());
   let t0 = now t in
   let emit kind =
     if Tr.on () || Mx.on () then begin
@@ -540,7 +582,11 @@ let access_vpn t task ~vpn ~write =
               kill_and_raise t task "attempt to modify a HiPEC command buffer"
             else kill_and_raise t task "protection violation"
           end;
-          fault t task region ~vpn ~write)
+          fault t task region ~vpn ~write;
+          (* post-service re-evaluation: the fault may have drained (or a
+             seizure may have refilled) the free pool; a no-op unless a
+             pressure controller is engaged *)
+          check_pressure t)
 
 let access t task ~va ~write = access_vpn t task ~vpn:(Pmap.vpn_of_va va) ~write
 

@@ -140,6 +140,26 @@ val set_manager : t -> Vm_object.t -> manager -> unit
 val clear_manager : t -> Vm_object.t -> unit
 val managed : t -> Vm_object.t -> bool
 
+(** {1 Memory pressure (overload protection)} *)
+
+val enable_pressure : ?window:Sim_time.t -> ?rate_threshold:float -> t -> Pressure.t
+(** Engage the overload-protection controller (idempotent — a second
+    call returns the existing controller; the optional parameters only
+    apply to the first).  Once engaged, every page fault feeds the
+    fault-rate window and re-evaluates the level after service; level
+    changes scale the pageout daemon's urgency, emit a [pressure] trace
+    event, and fire {!Pressure.subscribe} listeners (the HiPEC frame
+    manager hangs its emergency seizure there).  A kernel that never
+    calls this behaves — and traces — exactly as before. *)
+
+val pressure : t -> Pressure.t option
+val pressure_level : t -> Pressure.level
+(** [Normal] when no controller is engaged. *)
+
+val check_pressure : t -> unit
+(** Force a re-evaluation outside the fault path (the frame manager
+    calls this before admission decisions); a no-op when disengaged. *)
+
 val register_object : t -> Vm_object.t -> unit
 (** Add an externally created object to the kernel registry (objects
     made via [vm_allocate]/[vm_map_file] are registered automatically). *)

@@ -35,6 +35,14 @@ let pp fmt k =
   line "fault injection" "%d transients, %d bad-block hits, %d latency spikes"
     (Disk.faults_injected disk) (Disk.bad_block_hits disk)
     (Disk.latency_spikes disk);
+  (* only present when the overload controller is engaged, so runs that
+     never enable it keep their historical output byte-for-byte *)
+  (match Kernel.pressure k with
+  | None -> ()
+  | Some p ->
+      line "pressure" "%s, %d changes, %d faults this window"
+        (Pressure.level_name (Pressure.level p))
+        (Pressure.changes p) (Pressure.window_faults p));
   (* only present while a trace collector is installed, so untraced runs
      keep their historical output byte-for-byte *)
   (match Hipec_trace.Trace.active () with

@@ -21,6 +21,7 @@ type t = {
   mutable evictions : int;
   mutable reactivations : int;
   mutable pageout_writes : int;
+  mutable urgency : int;  (* 0..3, scaled from Pressure.severity *)
 }
 
 let create ~total_frames =
@@ -34,10 +35,13 @@ let create ~total_frames =
     evictions = 0;
     reactivations = 0;
     pageout_writes = 0;
+    urgency = 0;
   }
 
 let free_target t = t.free_target
 let reserved t = t.reserved
+let urgency t = t.urgency
+let set_urgency t v = t.urgency <- max 0 (min 3 v)
 
 let set_targets t ?free_target ?reserved () =
   (match free_target with Some v -> t.free_target <- v | None -> ());
@@ -157,9 +161,16 @@ let refill_inactive t ctx ~target =
         Page_queue.enqueue_tail t.inactive page
   done
 
+(* Pressure urgency widens both targets: under load the daemon launders
+   and evicts in bigger batches instead of trickling one free_target's
+   worth per wakeup.  Urgency 0 (the default, and the only value ever
+   seen unless a Pressure controller is engaged) reproduces the
+   historical targets exactly. *)
+let balance_target t = t.free_target * (1 + t.urgency)
+
 let inactive_target t =
   let queued = Page_queue.length t.active + Page_queue.length t.inactive in
-  max (2 * t.free_target) (queued / 3)
+  max ((2 + t.urgency) * t.free_target) (queued / 3)
 
 let needs_balance t tbl = Frame.Table.free_count tbl <= t.reserved
 
@@ -167,7 +178,7 @@ let balance t ctx =
   let continue = ref true in
   (* laundry frames count toward the target: their writebacks are already
      in flight, so evicting more pages would not speed anything up *)
-  while !continue && Frame.Table.free_count ctx.frame_table + t.laundry < t.free_target do
+  while !continue && Frame.Table.free_count ctx.frame_table + t.laundry < balance_target t do
     refill_inactive t ctx ~target:(inactive_target t);
     match reclaim_step t ctx with
     | `Progress -> ()
@@ -178,18 +189,35 @@ let balance t ctx =
   done
 
 let reclaim_one t ctx =
-  refill_inactive t ctx ~target:(max 1 (inactive_target t));
-  (* each step either evicts (success), reactivates (retry on the next
-     inactive page), or finds the queue empty (failure) *)
-  let rec attempt budget =
-    if budget <= 0 then false
-    else
-      let before = t.evictions in
-      match reclaim_step t ctx with
-      | `Empty -> false
-      | `Progress -> t.evictions > before || attempt (budget - 1)
+  (* The budget counts reclaimed work (a laundered or evicted frame),
+     not scan iterations: a pass over the inactive queue that only
+     reactivates referenced pages used to burn its whole budget and
+     report failure — even though the pages it pushed back to the
+     active queue become evictable the moment a refill clears their
+     reference bits.  So: scan one pass; if it produced no frame but
+     did move pages, refill and scan once more.  The second pass either
+     reclaims (the refilled pages arrive reference-clear) or proves the
+     queues are truly empty. *)
+  let one_pass () =
+    let before = t.evictions in
+    let rec scan budget =
+      if budget <= 0 then `No_work
+      else
+        match reclaim_step t ctx with
+        | `Empty -> `No_work
+        | `Progress -> if t.evictions > before then `Worked else scan (budget - 1)
+    in
+    scan (Page_queue.length t.inactive + 1)
   in
-  attempt (Page_queue.length t.inactive + 1)
+  refill_inactive t ctx ~target:(max 1 (inactive_target t));
+  match one_pass () with
+  | `Worked -> true
+  | `No_work ->
+      if Page_queue.is_empty t.active then false
+      else begin
+        refill_inactive t ctx ~target:(max 1 (inactive_target t));
+        match one_pass () with `Worked -> true | `No_work -> false
+      end
 
 let evictions t = t.evictions
 let reactivations t = t.reactivations

@@ -39,6 +39,14 @@ val free_target : t -> int
 val reserved : t -> int
 val set_targets : t -> ?free_target:int -> ?reserved:int -> unit -> unit
 
+val urgency : t -> int
+val set_urgency : t -> int -> unit
+(** Pressure urgency, clamped to 0..3 ({!Pressure.severity}): scales the
+    balance target and the inactive refill batch so a loaded daemon
+    reclaims in bigger strides.  0 (the default) is byte-for-byte the
+    historical behaviour; the kernel raises it only while a
+    {!Pressure} controller is engaged. *)
+
 val active_count : t -> int
 val inactive_count : t -> int
 val laundry_count : t -> int
@@ -68,7 +76,10 @@ val balance : t -> ctx -> unit
 val reclaim_one : t -> ctx -> bool
 (** Force a single eviction step even above targets (used by the global
     frame manager when a HiPEC [Request] cannot be satisfied from the
-    free pool).  Returns false when nothing is evictable. *)
+    free pool).  The internal budget counts reclaimed work, not scan
+    iterations: a pass that only reactivates referenced pages refills
+    the inactive queue (clearing reference bits) and scans once more
+    before giving up.  Returns false when nothing is evictable. *)
 
 val evictions : t -> int
 val reactivations : t -> int

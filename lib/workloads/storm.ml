@@ -1,0 +1,351 @@
+open Hipec_sim
+open Hipec_machine
+open Hipec_vm
+open Hipec_core
+
+(* The multi-tenant storm: many specific applications — most honest,
+   some greedy, some erring — fault concurrently through an overloaded
+   machine while the disk injects faults.  Exercises the whole overload
+   stack: pressure levels, admission shedding, pressure-scaled bursts,
+   per-tenant fuel throttling and emergency seizure, with the auditor
+   asserting frame conservation and the isolation floors throughout. *)
+
+type kind = Honest | Greedy | Erring
+
+let kind_name = function Honest -> "honest" | Greedy -> "greedy" | Erring -> "erring"
+
+type config = {
+  tenants : int;
+  pages_per_tenant : int;
+  min_frames : int;
+  total_frames : int;
+  rounds : int;
+  seed : int;
+  greedy_every : int;  (** tenant [i] is greedy when [i mod greedy_every = 3 mod greedy_every]; 0 disables *)
+  erring_every : int;  (** erring when [i mod erring_every = 7 mod erring_every]; 0 disables *)
+  hog_pages : int;  (** default-pool writer sized to drain the free pool *)
+  late_tenants : int;  (** admissions attempted after the hog has raised pressure *)
+  transient_rate : float;
+  latency_spike_rate : float;
+  bad_swap_blocks : int;
+  audit_period : Sim_time.t;
+  max_steps : int;
+  overload : bool;  (** engage {!Hipec_core.Api.enable_overload} *)
+  rate_threshold : float;
+  fuel_quota : int option;
+  fuel_window : Sim_time.t;
+  fuel_cooldown : Sim_time.t;
+}
+
+let smoke =
+  {
+    tenants = 100;
+    pages_per_tenant = 16;
+    min_frames = 8;
+    total_frames = 1_536;
+    rounds = 3;
+    seed = 1;
+    greedy_every = 10;
+    erring_every = 20;
+    hog_pages = 2_048;
+    late_tenants = 15;
+    transient_rate = 0.005;
+    latency_spike_rate = 0.002;
+    bad_swap_blocks = 2;
+    audit_period = Sim_time.ms 100;
+    max_steps = 2_000;
+    overload = true;
+    rate_threshold = infinity;
+    fuel_quota = Some 200;
+    fuel_window = Sim_time.ms 10;
+    fuel_cooldown = Sim_time.ms 50;
+  }
+
+let full =
+  {
+    smoke with
+    tenants = 1_000;
+    total_frames = 12_288;
+    hog_pages = 16_384;
+    late_tenants = 100;
+    audit_period = Sim_time.ms 500;
+  }
+
+let kind_of config i =
+  if config.erring_every > 0 && i mod config.erring_every = 7 mod config.erring_every
+  then Erring
+  else if config.greedy_every > 0 && i mod config.greedy_every = 3 mod config.greedy_every
+  then Greedy
+  else Honest
+
+type result = {
+  elapsed : Sim_time.t;
+  tenants : int;
+  admitted : int;
+  shed : int;
+  honest_alive : int;
+  task_kills : int;
+  demotions : int;
+  throttles_entered : int;
+  throttles_exited : int;
+  emergency_seizures : int;
+  emergency_frames : int;
+  admissions_queued : int;
+  admissions_rejected : int;
+  total_faults : int;
+  faults_per_sec : float;
+  honest_samples : int;
+  honest_p50_ns : int;
+  honest_p99_ns : int;
+  greedy_samples : int;
+  greedy_p99_ns : int;
+  pressure_changes : int;
+  peak_level : string;
+  final_level : string;
+  audit_sweeps : int;
+  audit_violations : int;
+  conservation_ok : bool;
+  digest : string;
+  kstat : string;
+}
+
+(* p-th percentile (0..1) by nearest-rank over a copy of [samples]. *)
+let percentile samples p =
+  match Array.length samples with
+  | 0 -> 0
+  | n ->
+      let sorted = Array.copy samples in
+      Array.sort compare sorted;
+      sorted.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
+
+type tenant = {
+  index : int;
+  kind : kind;
+  task : Task.t;
+  region : Vm_map.region option;  (* None: admission was shed *)
+}
+
+let run config =
+  let kconfig =
+    {
+      Kernel.default_config with
+      total_frames = config.total_frames;
+      seed = config.seed;
+      hipec_kernel = true;
+    }
+  in
+  let kernel = Kernel.create ~config:kconfig () in
+  let sys = Api.init ~max_steps:config.max_steps kernel in
+  if config.overload then
+    Api.enable_overload
+      ~rate_threshold:config.rate_threshold
+      ?fuel_quota:config.fuel_quota ~fuel_window:config.fuel_window
+      ~fuel_cooldown:config.fuel_cooldown sys;
+  let manager = Api.manager sys in
+  (* own trace collector only when the caller did not install one: the
+     digest doubles as the determinism check *)
+  let own_collector =
+    match Hipec_trace.Trace.active () with
+    | Some _ -> None
+    | None ->
+        Some
+          (Hipec_trace.Trace.start ~ring:256 ~store:false
+             ~clock:(fun () -> Kernel.now kernel)
+             ())
+  in
+  let auditor =
+    Audit.create ~period:config.audit_period ~raise_on_violation:false kernel
+  in
+  Audit.register_check auditor ~name:"hipec-isolation" (Frame_manager.audit_check manager);
+  (* disk fault injection: bad blocks land in the swap slots laundering
+     will write (same construction as the chaos scenario) *)
+  (if config.bad_swap_blocks > 0 then
+     let probe = Kernel.alloc_disk_extent kernel ~npages:1 in
+     let bad_blocks =
+       List.init config.bad_swap_blocks (fun i ->
+           probe + (Vm_object.blocks_per_page * (i + 1)))
+     in
+     Disk.set_faults (Kernel.disk kernel)
+       {
+         Disk.Faults.seed = config.seed + 1;
+         transient_read_rate = config.transient_rate;
+         transient_write_rate = config.transient_rate;
+         latency_spike_rate = config.latency_spike_rate;
+         latency_spike = Sim_time.ms 20;
+         bad_blocks;
+       });
+  let shed = ref 0 in
+  let policy_for = function
+    | Honest -> Policies.fifo_second_chance ()
+    | Greedy -> Policies.greedy_request ~flavour:`Fifo ~chunk:32
+    | Erring -> Policies.looping ()
+  in
+  let admit_tenant i =
+    let kind = kind_of config i in
+    let task =
+      Kernel.create_task kernel ~name:(Printf.sprintf "t%04d-%s" i (kind_name kind)) ()
+    in
+    let spec = Api.default_spec ~policy:(policy_for kind) ~min_frames:config.min_frames in
+    match Api.vm_allocate_hipec sys task ~npages:config.pages_per_tenant spec with
+    | Ok (region, container) ->
+        Audit.register_queue auditor (Container.free_queue container);
+        Audit.register_queue auditor (Container.active_queue container);
+        Audit.register_queue auditor (Container.inactive_queue container);
+        { index = i; kind; task; region = Some region }
+    | Error _ ->
+        (* admission shed or genuinely out of memory: the tenant is
+           turned away, counted, and the storm goes on without it *)
+        incr shed;
+        { index = i; kind; task; region = None }
+  in
+  let late = min config.late_tenants config.tenants in
+  let early_tenants = List.init (config.tenants - late) admit_tenant in
+  Audit.start auditor;
+  let task_kills = ref 0 in
+  (* the default-pool hog drains the free pool and drives the pressure
+     ladder up before the late admission wave arrives *)
+  let hog_task = Kernel.create_task kernel ~name:"hog" () in
+  let hog_region =
+    if config.hog_pages > 0 then
+      Some (Kernel.vm_allocate kernel hog_task ~npages:config.hog_pages)
+    else None
+  in
+  (match hog_region with
+  | Some region -> (
+      try Kernel.touch_region kernel hog_task region ~write:true
+      with Kernel.Task_terminated _ -> incr task_kills)
+  | None -> ());
+  (* late admissions land on a hot machine: under Critical+ pressure the
+     admission governor sheds them with a typed reason *)
+  let tenants =
+    early_tenants
+    @ List.init late (fun j -> admit_tenant (config.tenants - late + j))
+  in
+  let honest_lat = ref [] and honest_n = ref 0 in
+  let greedy_lat = ref [] and greedy_n = ref 0 in
+  let peak = ref Pressure.Normal in
+  let note_peak () =
+    let l = Kernel.pressure_level kernel in
+    if Pressure.severity l > Pressure.severity !peak then peak := l
+  in
+  let t0 = Kernel.now kernel in
+  let faults0 = (Kernel.stats kernel).Kernel.faults in
+  (* the storm proper: all tenants fault through their regions in
+     page-interleaved round-robin, so every tenant is hot at once *)
+  for round = 0 to config.rounds - 1 do
+    (* from round 1 on, the hog re-faults its region mid-storm: by now
+       the greedy tenants have ballooned, so the Emergency transitions
+       it forces exercise kernel-directed seizure against them *)
+    (if round > 0 then
+       match hog_region with
+       | Some region -> (
+           try Kernel.touch_region kernel hog_task region ~write:false
+           with Kernel.Task_terminated _ -> incr task_kills)
+       | None -> ());
+    let write = round land 1 = 1 in
+    for page = 0 to config.pages_per_tenant - 1 do
+      List.iter
+        (fun tn ->
+          match tn.region with
+          | None -> ()
+          | Some region ->
+              if Task.alive tn.task then begin
+                let vpn = region.Vm_map.start_vpn + page in
+                let before = Kernel.now kernel in
+                (try Kernel.access_vpn kernel tn.task ~vpn ~write
+                 with Kernel.Task_terminated _ -> incr task_kills);
+                let dt = Sim_time.to_ns (Sim_time.sub (Kernel.now kernel) before) in
+                (match tn.kind with
+                | Honest ->
+                    honest_lat := dt :: !honest_lat;
+                    incr honest_n
+                | Greedy ->
+                    greedy_lat := dt :: !greedy_lat;
+                    incr greedy_n
+                | Erring -> ());
+                note_peak ()
+              end)
+        tenants
+    done
+  done;
+  Kernel.drain_io kernel;
+  let elapsed = Sim_time.sub (Kernel.now kernel) t0 in
+  Audit.stop auditor;
+  ignore (Audit.sweep auditor);
+  let stats = Frame_manager.stats manager in
+  let total_faults = (Kernel.stats kernel).Kernel.faults - faults0 in
+  let honest = Array.of_list !honest_lat and greedy = Array.of_list !greedy_lat in
+  let digest =
+    match own_collector with
+    | Some c ->
+        let d = Hipec_trace.Trace.digest_hex (Hipec_trace.Trace.digest c) in
+        ignore (Hipec_trace.Trace.stop ());
+        d
+    | None -> (
+        match Hipec_trace.Trace.active () with
+        | Some c -> Hipec_trace.Trace.digest_hex (Hipec_trace.Trace.digest c)
+        | None -> "-")
+  in
+  let honest_alive =
+    List.length
+      (List.filter
+         (fun tn -> tn.kind = Honest && tn.region <> None && Task.alive tn.task)
+         tenants)
+  in
+  {
+    elapsed;
+    tenants = config.tenants;
+    admitted = config.tenants - !shed;
+    shed = !shed;
+    honest_alive;
+    task_kills = !task_kills;
+    demotions = stats.Frame_manager.demotions;
+    throttles_entered = stats.Frame_manager.throttles_entered;
+    throttles_exited = stats.Frame_manager.throttles_exited;
+    emergency_seizures = stats.Frame_manager.emergency_seizures;
+    emergency_frames = stats.Frame_manager.emergency_frames;
+    admissions_queued = stats.Frame_manager.admissions_queued;
+    admissions_rejected = stats.Frame_manager.admissions_rejected;
+    total_faults;
+    faults_per_sec =
+      (let s = Sim_time.to_sec_f elapsed in
+       if s > 0. then float_of_int total_faults /. s else 0.);
+    honest_samples = !honest_n;
+    honest_p50_ns = percentile honest 0.50;
+    honest_p99_ns = percentile honest 0.99;
+    greedy_samples = !greedy_n;
+    greedy_p99_ns = percentile greedy 0.99;
+    pressure_changes =
+      (match Kernel.pressure kernel with Some p -> Pressure.changes p | None -> 0);
+    peak_level = Pressure.level_name !peak;
+    final_level = Pressure.level_name (Kernel.pressure_level kernel);
+    audit_sweeps = Audit.sweeps auditor;
+    audit_violations = Audit.violations_found auditor;
+    conservation_ok = Frame.Table.check_conservation (Kernel.frame_table kernel);
+    digest;
+    kstat = Kstat.to_string kernel;
+  }
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "@[<v>elapsed            %a@,\
+     tenants            %d (%d admitted, %d shed, %d honest alive)@,\
+     faults             %d (%.0f/s)@,\
+     honest latency     p50 %d ns, p99 %d ns (%d samples)@,\
+     greedy latency     p99 %d ns (%d samples)@,\
+     task kills         %d@,\
+     demotions          %d@,\
+     throttles          %d entered, %d exited@,\
+     emergency seizure  %d events, %d frames@,\
+     admissions         %d queued, %d rejected@,\
+     pressure           %d changes, peak %s, final %s@,\
+     auditor            %d sweeps, %d violations@,\
+     conservation       %s@,\
+     digest             %s@]"
+    Sim_time.pp r.elapsed r.tenants r.admitted r.shed r.honest_alive r.total_faults
+    r.faults_per_sec r.honest_p50_ns r.honest_p99_ns r.honest_samples r.greedy_p99_ns
+    r.greedy_samples r.task_kills r.demotions r.throttles_entered r.throttles_exited
+    r.emergency_seizures r.emergency_frames r.admissions_queued r.admissions_rejected
+    r.pressure_changes r.peak_level r.final_level r.audit_sweeps r.audit_violations
+    (if r.conservation_ok then "ok" else "VIOLATED")
+    r.digest

@@ -23,7 +23,7 @@ let policy_names = [ "fifo"; "lru"; "mru"; "clock"; "second-chance" ]
 
 type scenario = Policy of policy_cfg | Named of string
 
-let named_scenarios = [ "join-small"; "aim-small"; "chaos-smoke" ]
+let named_scenarios = [ "join-small"; "aim-small"; "chaos-smoke"; "storm-smoke" ]
 
 let scenario_of_name = function
   | "policy" -> Some (Policy default_policy_cfg)
@@ -143,6 +143,9 @@ let run_named name =
       Ok [ ("kind", "workload"); ("workload", name) ]
   | "chaos-smoke" ->
       ignore (Chaos.run Chaos.smoke);
+      Ok [ ("kind", "workload"); ("workload", name) ]
+  | "storm-smoke" ->
+      ignore (Storm.run Storm.smoke);
       Ok [ ("kind", "workload"); ("workload", name) ]
   | _ -> Error (Printf.sprintf "unknown scenario %S (try %s)" name
                   (String.concat "|" named_scenarios))

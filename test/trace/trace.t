@@ -46,7 +46,7 @@ Workload scenarios record and replay deterministically too:
 An unknown scenario is rejected:
 
   $ hipec trace record --scenario warp-drive
-  unknown scenario "warp-drive" (policy|join-small|aim-small|chaos-smoke)
+  unknown scenario "warp-drive" (policy|join-small|aim-small|chaos-smoke|storm-smoke)
   [2]
 
 The bench harness collects a stream across a whole figure with --trace:
