@@ -1,4 +1,4 @@
-.PHONY: all test bench examples clean quick-bench chaos oracle golden backend-bench metrics-bench storm storm-bench ci
+.PHONY: all test bench examples clean quick-bench chaos oracle golden backend-bench metrics-bench storm storm-bench adversary adversary-bench ci
 
 all:
 	dune build @all
@@ -36,10 +36,25 @@ storm:
 storm-bench:
 	dune exec bench/main.exe -- storm --quick
 
+# the anomaly-witness regression gate: the seeded search must find and
+# confirm a FIFO Belady anomaly, must find none against the adaptive
+# policy at the same budget, and the pinned golden witness pair must
+# replay digest-identically on both backends with the anomaly intact
+adversary:
+	dune exec bin/hipec_cli.exe -- adversary report --smoke
+	dune exec bin/hipec_cli.exe -- adversary replay-witness \
+	  test/golden/witness-fifo-lo.trace test/golden/witness-fifo-hi.trace
+
+# witness search throughput and the fifo-falls/adaptive-stands gate at
+# the full budget; rewrites BENCH_6.json
+adversary-bench:
+	dune exec bench/main.exe -- adversary
+
 # What CI runs: full build, the whole test suite (which includes the
-# oracle, golden and storm suites), the chaos and storm acceptance
-# checks at smoke scale, and the backend equivalence benches.
-ci: all test oracle golden chaos storm backend-bench metrics-bench storm-bench
+# oracle, golden, storm and adversary suites), the chaos and storm
+# acceptance checks at smoke scale, the adversary regression gate, and
+# the backend equivalence benches.
+ci: all test oracle golden chaos storm adversary backend-bench metrics-bench storm-bench adversary-bench
 
 bench:
 	dune exec bench/main.exe

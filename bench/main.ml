@@ -786,6 +786,88 @@ let storm_bench ~quick () =
   Printf.printf "\n  wrote %s\n\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Adversary: anomaly-witness search throughput and gate (BENCH_6.json)*)
+(* ------------------------------------------------------------------ *)
+
+let adversary_bench ~quick () =
+  header "Adversary: Belady-anomaly witness search and the adaptive gate (BENCH_6.json)";
+  let cfg = if quick then Adversary.smoke else Adversary.default in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let rate o wall =
+    if wall > 0. then float_of_int o.Adversary.o_traces_scored /. wall else 0.
+  in
+  (* the attacked policy must fall, and the witness must confirm *)
+  let o_fifo, wall_fifo = timed (fun () -> Adversary.search cfg) in
+  let w =
+    match o_fifo.Adversary.o_witness with
+    | Some w -> w
+    | None -> failwith "adversary bench: the search no longer finds a FIFO witness"
+  in
+  let c =
+    match Adversary.confirm w with
+    | Ok c -> c
+    | Error e -> failwith ("adversary bench: confirmation failed: " ^ e)
+  in
+  if not (Adversary.confirmed c) then
+    failwith "adversary bench: FIFO witness failed end-to-end confirmation";
+  (* ...and the adaptive policy must stand at the same budget *)
+  let o_ad, wall_ad =
+    timed (fun () -> Adversary.search { cfg with Adversary.policy = "adaptive" })
+  in
+  if o_ad.Adversary.o_witness <> None then
+    failwith "adversary bench: the adaptive policy fell to the search";
+  Printf.printf "  %-10s %8s %10s %12s %8s %8s  %s\n" "policy" "traces" "traces/s"
+    "best gap" "f(lo)" "f(hi)" "verdict";
+  Printf.printf "  %-10s %8d %10.0f %12d %8d %8d  witness confirmed (ratio %.3f)\n"
+    "fifo" o_fifo.Adversary.o_traces_scored (rate o_fifo wall_fifo)
+    o_fifo.Adversary.o_best_gap w.Adversary.w_faults_lo w.Adversary.w_faults_hi
+    (Adversary.anomaly_ratio w);
+  Printf.printf "  %-10s %8d %10.0f %12d %8s %8s  resists the same budget\n" "adaptive"
+    o_ad.Adversary.o_traces_scored (rate o_ad wall_ad) o_ad.Adversary.o_best_gap "-" "-";
+  let digest_hex r = Hipec_trace.Trace.digest_hex r.Adversary.x_digest in
+  let path = "BENCH_6.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"bench\": \"adversary\",\n  \"quick\": %b,\n\
+        \  \"config\": { \"seed\": %d, \"frames_lo\": %d, \"frames_hi\": %d,\n\
+        \    \"pages\": %d, \"length\": %d, \"random_rounds\": %d, \"mutation_rounds\": %d },\n"
+        quick cfg.Adversary.seed cfg.Adversary.frames_lo cfg.Adversary.frames_hi
+        cfg.Adversary.npages cfg.Adversary.length cfg.Adversary.random_rounds
+        cfg.Adversary.mutation_rounds;
+      Printf.fprintf oc
+        "  \"fifo\": {\n\
+        \    \"traces_scored\": %d, \"wall_ns\": %.0f, \"traces_per_sec\": %.0f,\n\
+        \    \"best_gap\": %d,\n\
+        \    \"witness\": {\n\
+        \      \"accesses\": \"%s\",\n\
+        \      \"faults_lo\": %d, \"faults_hi\": %d, \"anomaly_ratio\": %.4f,\n\
+        \      \"digest_lo\": \"%s\", \"digest_hi\": \"%s\",\n\
+        \      \"backend_match\": %b, \"oracle_match\": %b, \"confirmed\": %b\n\
+        \    }\n  },\n"
+        o_fifo.Adversary.o_traces_scored (wall_fifo *. 1e9) (rate o_fifo wall_fifo)
+        o_fifo.Adversary.o_best_gap
+        (Format.asprintf "%a" Adversary.pp_accesses w.Adversary.w_accesses)
+        w.Adversary.w_faults_lo w.Adversary.w_faults_hi (Adversary.anomaly_ratio w)
+        (digest_hex c.Adversary.c_lo.Adversary.cl_interp)
+        (digest_hex c.Adversary.c_hi.Adversary.cl_interp)
+        (Adversary.backends_agree c) (Adversary.matches_oracle c) (Adversary.confirmed c);
+      Printf.fprintf oc
+        "  \"adaptive\": {\n\
+        \    \"traces_scored\": %d, \"wall_ns\": %.0f, \"traces_per_sec\": %.0f,\n\
+        \    \"best_gap\": %d, \"witness_found\": %b\n  }\n}\n"
+        o_ad.Adversary.o_traces_scored (wall_ad *. 1e9) (rate o_ad wall_ad)
+        o_ad.Adversary.o_best_gap
+        (o_ad.Adversary.o_witness <> None));
+  Printf.printf "\n  wrote %s\n\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: wall-clock micro-benchmarks of this implementation        *)
 (* ------------------------------------------------------------------ *)
 
@@ -882,6 +964,7 @@ let all_benches =
     ("mechanism", mechanism);
     ("chaos", chaos);
     ("storm", storm_bench);
+    ("adversary", adversary_bench);
     ("backend", backend_bench);
     ("metrics", metrics_bench);
     ("bechamel", bechamel);

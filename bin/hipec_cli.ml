@@ -919,6 +919,339 @@ let storm_cmd =
           frame-conservation or isolation violation, or if no honest tenant survives.")
     Term.(const run $ smoke $ seed $ tenants $ no_overload $ baseline $ fuel_quota)
 
+(* ------------------------------------------------------------------ *)
+(* adversary                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Ev = Hipec_trace.Event
+
+let adversary_config_term =
+  let smoke =
+    Arg.(value & flag
+        & info [ "smoke" ] ~doc:"CI budget (200 random + 1200 mutation rounds).")
+  in
+  let policy =
+    (* reject unknown names here so the search never raises on them *)
+    let known =
+      Arg.conv
+        ( (fun s ->
+            match Hipec_trace.Oracle.of_policy_name s with
+            | Some _ -> Ok s
+            | None ->
+                Error
+                  (`Msg
+                    (Printf.sprintf
+                       "unknown policy %S \
+                        (fifo|lru|mru|clock|second-chance|adaptive)"
+                       s))),
+          Format.pp_print_string )
+    in
+    Arg.(value & opt (some known) None
+        & info [ "policy" ] ~docv:"NAME"
+            ~doc:"Policy to attack: fifo|lru|mru|clock|second-chance|adaptive \
+                  (default fifo).")
+  in
+  let seed =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc:"Search seed.")
+  in
+  let frames_lo =
+    Arg.(value & opt (some int) None
+        & info [ "frames-lo" ] ~docv:"N" ~doc:"Smaller minFrame grant.")
+  in
+  let frames_hi =
+    Arg.(value & opt (some int) None
+        & info [ "frames-hi" ] ~docv:"N" ~doc:"Larger minFrame grant.")
+  in
+  let pages =
+    Arg.(value & opt (some int) None
+        & info [ "pages" ] ~docv:"N" ~doc:"Page alphabet size of candidate traces.")
+  in
+  let length =
+    Arg.(value & opt (some int) None
+        & info [ "length" ] ~docv:"N" ~doc:"Accesses per candidate trace.")
+  in
+  let random_rounds =
+    Arg.(value & opt (some int) None
+        & info [ "random" ] ~docv:"N" ~doc:"Random probes before the climb.")
+  in
+  let mutation_rounds =
+    Arg.(value & opt (some int) None
+        & info [ "mutation" ] ~docv:"N" ~doc:"Mutation hill-climb budget.")
+  in
+  let build smoke policy seed frames_lo frames_hi pages length random mutation =
+    let base = if smoke then Adversary.smoke else Adversary.default in
+    let ov v d = Option.value v ~default:d in
+    let cfg =
+      {
+        Adversary.policy = ov policy base.Adversary.policy;
+        seed = ov seed base.Adversary.seed;
+        frames_lo = ov frames_lo base.Adversary.frames_lo;
+        frames_hi = ov frames_hi base.Adversary.frames_hi;
+        npages = ov pages base.Adversary.npages;
+        length = ov length base.Adversary.length;
+        random_rounds = ov random base.Adversary.random_rounds;
+        mutation_rounds = ov mutation base.Adversary.mutation_rounds;
+      }
+    in
+    if cfg.Adversary.frames_lo < 1 then Error "--frames-lo must be >= 1"
+    else if cfg.Adversary.frames_hi <= cfg.Adversary.frames_lo then
+      Error "--frames-hi must exceed --frames-lo"
+    else if cfg.Adversary.npages < 1 || cfg.Adversary.length < 1 then
+      Error "--pages and --length must be >= 1"
+    else if cfg.Adversary.random_rounds < 1 then
+      Error "--random must be >= 1 (the climb needs a starting trace)"
+    else if cfg.Adversary.mutation_rounds < 0 then
+      Error "--mutation must be >= 0"
+    else Ok cfg
+  in
+  Term.(
+    const build $ smoke $ policy $ seed $ frames_lo $ frames_hi $ pages $ length
+    $ random_rounds $ mutation_rounds)
+
+let print_outcome (o : Adversary.outcome) =
+  let cfg = o.Adversary.o_config in
+  Printf.printf "searched %d traces against %s (seed %d, %d vs %d frames, %d+%d rounds)\n"
+    o.Adversary.o_traces_scored cfg.Adversary.policy cfg.Adversary.seed
+    cfg.Adversary.frames_lo cfg.Adversary.frames_hi cfg.Adversary.random_rounds
+    cfg.Adversary.mutation_rounds
+
+let print_witness (w : Adversary.witness) =
+  Format.printf "witness: %a@." Adversary.pp_accesses w.Adversary.w_accesses;
+  Printf.printf "  oracle faults: %d at %d frames, %d at %d frames (ratio %.3f)\n"
+    w.Adversary.w_faults_lo w.Adversary.w_frames_lo w.Adversary.w_faults_hi
+    w.Adversary.w_frames_hi (Adversary.anomaly_ratio w)
+
+let print_confirmation (c : Adversary.confirmation) =
+  List.iter
+    (fun (l : Adversary.confirmed_level) ->
+      Printf.printf
+        "  %d frames: oracle %d faults, interp %d (digest %s), compiled %d (digest %s)\n"
+        l.Adversary.cl_frames l.Adversary.cl_oracle_faults
+        l.Adversary.cl_interp.Adversary.x_faults
+        (Tr.digest_hex l.Adversary.cl_interp.Adversary.x_digest)
+        l.Adversary.cl_compiled.Adversary.x_faults
+        (Tr.digest_hex l.Adversary.cl_compiled.Adversary.x_digest))
+    [ c.Adversary.c_lo; c.Adversary.c_hi ];
+  Printf.printf "  backends agree: %b, oracle-exact: %b, anomaly holds: %b\n"
+    (Adversary.backends_agree c) (Adversary.matches_oracle c)
+    (Adversary.anomaly_holds c)
+
+(* Confirm a found witness end to end; on success optionally record it
+   at both grants as .trace regression files.  Returns the exit code. *)
+let confirm_and_save w save =
+  match Adversary.confirm w with
+  | Error e ->
+      Printf.eprintf "confirmation failed: %s\n" e;
+      1
+  | Ok c ->
+      print_confirmation c;
+      if not (Adversary.confirmed c) then begin
+        Printf.eprintf "witness did NOT survive end-to-end confirmation\n";
+        1
+      end
+      else
+        let save_level frames suffix =
+          match Adversary.record_witness w ~frames with
+          | Error e ->
+              Printf.eprintf "recording at %d frames failed: %s\n" frames e;
+              false
+          | Ok r ->
+              let path = Printf.sprintf "%s-%s.trace" save suffix in
+              Tr.Recorded.save r ~path;
+              Printf.printf "  wrote %s  (golden line: trace:%s %s %d)\n" path
+                Filename.(remove_extension (basename path))
+                (Tr.digest_hex r.Tr.Recorded.digest)
+                (Array.length r.Tr.Recorded.events);
+              true
+        in
+        if save = "" then 0
+        else if
+          save_level w.Adversary.w_frames_lo "lo" && save_level w.Adversary.w_frames_hi "hi"
+        then 0
+        else 1
+
+let adversary_search_cmd =
+  let save =
+    Arg.(value & opt string ""
+        & info [ "save" ] ~docv:"PREFIX"
+            ~doc:"On a confirmed witness, record PREFIX-lo.trace and PREFIX-hi.trace \
+                  and print their golden digest lines.")
+  in
+  let run cfg save =
+    match cfg with
+    | Error e ->
+        Printf.eprintf "adversary: %s\n" e;
+        1
+    | Ok cfg -> (
+        let o = Adversary.search cfg in
+        print_outcome o;
+        match o.Adversary.o_witness with
+        | None ->
+            Printf.printf "no anomaly witness found (best gap %d)\n"
+              o.Adversary.o_best_gap;
+            0
+        | Some w ->
+            print_witness w;
+            confirm_and_save w save)
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:
+         "Hunt for a Belady-anomaly witness against a policy: seeded random probes, \
+          then a mutation hill-climb scored by the pure oracles; any witness found is \
+          confirmed through the real executor on both backends.")
+    Term.(const run $ adversary_config_term $ save)
+
+let adversary_replay_cmd =
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"Witness .trace recordings.")
+  in
+  let run files =
+    let replay_on backend path r =
+      let saved = Executor.default_backend () in
+      Executor.set_default_backend backend;
+      Fun.protect
+        ~finally:(fun () -> Executor.set_default_backend saved)
+        (fun () ->
+          match Trace_run.replay r with
+          | Error e ->
+              Printf.eprintf "%s [%s]: replay failed: %s\n" path
+                (Executor.backend_name backend) e;
+              false
+          | Ok o ->
+              if Trace_run.matches o then true
+              else begin
+                Printf.eprintf "%s [%s]: digest mismatch\n" path
+                  (Executor.backend_name backend);
+                Option.iter print_divergence o.Trace_run.divergence;
+                false
+              end)
+    in
+    let rows =
+      List.map
+        (fun path ->
+          match load_recorded path with
+          | None -> None
+          | Some r ->
+              let frames =
+                Option.bind (Tr.Recorded.meta_find r "frames") int_of_string_opt
+              in
+              let faults =
+                Array.fold_left
+                  (fun n ev ->
+                    match ev.Ev.payload with
+                    | Ev.Fault { kind = Ev.Hipec; _ } -> n + 1
+                    | _ -> n)
+                  0 r.Tr.Recorded.events
+              in
+              let ok =
+                List.for_all
+                  (fun b -> replay_on b path r)
+                  [ Executor.Interp; Executor.Compiled ]
+              in
+              Printf.printf "%s: frames=%s faults=%d digest %s — %s\n" path
+                (match frames with Some f -> string_of_int f | None -> "?")
+                faults
+                (Tr.digest_hex r.Tr.Recorded.digest)
+                (if ok then "reproduced on both backends" else "FAILED");
+              Some (ok, frames, faults))
+        files
+    in
+    if List.mem None rows then 1
+    else
+      let rows = List.filter_map Fun.id rows in
+      let all_ok = List.for_all (fun (ok, _, _) -> ok) rows in
+      (* two recordings of the same witness at different grants pin the
+         anomaly itself: more frames must still fault more *)
+      let anomaly_ok =
+        match rows with
+        | [ (_, Some fa, faults_a); (_, Some fb, faults_b) ] when fa <> fb ->
+            let (f_lo, n_lo), (f_hi, n_hi) =
+              if fa < fb then ((fa, faults_a), (fb, faults_b))
+              else ((fb, faults_b), (fa, faults_a))
+            in
+            if n_hi > n_lo then begin
+              Printf.printf
+                "anomaly pinned: %d faults at %d frames < %d faults at %d frames\n" n_lo
+                f_lo n_hi f_hi;
+              true
+            end
+            else begin
+              Printf.eprintf
+                "anomaly REGRESSED: %d faults at %d frames vs %d faults at %d frames\n"
+                n_lo f_lo n_hi f_hi;
+              false
+            end
+        | _ -> true
+      in
+      if all_ok && anomaly_ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "replay-witness"
+       ~doc:
+         "Replay recorded anomaly witnesses on both executor backends, requiring each \
+          digest to reproduce; given the lo/hi pair of one witness, also re-checks \
+          that the anomaly still holds.")
+    Term.(const run $ files)
+
+let adversary_report_cmd =
+  let run cfg =
+    match cfg with
+    | Error e ->
+        Printf.eprintf "adversary: %s\n" e;
+        1
+    | Ok cfg ->
+    (* the attacked policy must fall... *)
+    let fifo_cfg = { cfg with Adversary.policy = "fifo" } in
+    let o = Adversary.search fifo_cfg in
+    print_outcome o;
+    let fifo_ok =
+      match o.Adversary.o_witness with
+      | None ->
+          Printf.eprintf "REGRESSION: the search no longer finds a FIFO witness\n";
+          false
+      | Some w ->
+          print_witness w;
+          confirm_and_save w "" = 0
+    in
+    (* ...and the adaptive policy must stand, same budget *)
+    let oa = Adversary.search { fifo_cfg with Adversary.policy = "adaptive" } in
+    print_outcome oa;
+    let adaptive_ok =
+      match oa.Adversary.o_witness with
+      | None ->
+          Printf.printf "adaptive resists the same budget (best gap %d)\n"
+            oa.Adversary.o_best_gap;
+          true
+      | Some w ->
+          Printf.eprintf "REGRESSION: adaptive fell to the search\n";
+          print_witness w;
+          false
+    in
+    if fifo_ok && adaptive_ok then begin
+      print_endline "adversary report: PASS";
+      0
+    end
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "The regression gate: the search must find and confirm a FIFO witness, and \
+          must find none against the adaptive policy at the same budget.  Exits \
+          nonzero otherwise.")
+    Term.(const run $ adversary_config_term)
+
+let adversary_cmd =
+  let default = Term.(ret (const (`Help (`Pager, Some "adversary")))) in
+  Cmd.group ~default
+    (Cmd.info "adversary"
+       ~doc:
+         "Adversarial trace search for Belady-anomaly witnesses: search for one, \
+          replay recorded witnesses, or run the FIFO-falls/adaptive-stands regression \
+          report.")
+    [ adversary_search_cmd; adversary_replay_cmd; adversary_report_cmd ]
+
 let () =
   (* HIPEC_LOG=debug|info|warning|error turns on kernel/manager/checker
      logging through the Logs reporter *)
@@ -941,4 +1274,5 @@ let () =
           [
             translate_cmd; check_cmd; assemble_cmd; disassemble_cmd; advise_cmd; join_cmd;
             aim_cmd; table3_cmd; table4_cmd; trace_cmd; stat_cmd; chaos_cmd; storm_cmd;
+            adversary_cmd;
           ]))

@@ -182,6 +182,103 @@ let clock () =
       (Events.reclaim_frame, assemble std_reclaim);
     ]
 
+(* Adaptive FIFO/LRU switcher over an observed-reuse latch.
+
+   User operands (declared through Api.spec.extra_operands):
+     score     — count of observed reuse events, starts at 0
+     threshold — score at which eviction switches from FIFO to LRU
+     cap       — saturation ceiling for the score
+
+   The kernel sets a page's reference bit when the fault that installed
+   it resolves, so a set bit does not by itself mean "hit".  The
+   program keeps the invariant that every active page's bit is clear
+   when a PageFault run ends: while un-latched, each fault sweeps the
+   whole active queue, and a set bit on any page other than the newest
+   (the tail — whose bit is exactly the install artifact) is a genuine
+   hit since the previous fault.  Each such hit bumps the saturating
+   score; the score never decays, so score >= threshold is a latch:
+   the policy evicts FIFO until it first observes reuse, then LRU — a
+   stack algorithm, immune to Belady's anomaly — forever after.  Once
+   latched the sweep is skipped, so the steady-state fault cost matches
+   the plain one-complex-command policies.  The sweep itself is
+   order-preserving (head-dequeue, tail-enqueue, once per resident
+   page), so the insertion order FIFO relies on is untouched. *)
+
+let adaptive_score = Operand.Std.first_user
+let adaptive_threshold = Operand.Std.first_user + 1
+let adaptive_cap = Operand.Std.first_user + 2
+let default_adaptive_threshold = 1
+let default_adaptive_cap = 4
+
+let adaptive_operands ?(threshold = default_adaptive_threshold)
+    ?(cap = default_adaptive_cap) () =
+  [
+    (adaptive_score, Operand.Int (ref 0));
+    (adaptive_threshold, Operand.Int (ref threshold));
+    (adaptive_cap, Operand.Int (ref cap));
+  ]
+
+let adaptive_fault_code =
+  let score = adaptive_score
+  and threshold = adaptive_threshold
+  and cap = adaptive_cap in
+  [
+    Op (Instr.Comp (score, threshold, Opcode.Comp_op.Ge));
+    Jump_to "sweep";  (* not latched yet -> look for reuse *)
+    Jump_to "decide";  (* latched -> straight to the LRU eviction *)
+    Label "sweep";
+    Op (Instr.Emptyq Std.active_queue);
+    Jump_to "sweep_init";  (* non-empty -> sweep *)
+    Jump_to "decide";  (* nothing resident yet *)
+    Label "sweep_init";
+    (* scratch1 := active_count - 1: visit every page but the tail *)
+    Op (Instr.Arith (Std.scratch1, Std.scratch1, Opcode.Arith_op.Sub));
+    Op (Instr.Arith (Std.scratch1, Std.active_count, Opcode.Arith_op.Add));
+    Op (Instr.Arith (Std.scratch1, Std.scratch1, Opcode.Arith_op.Dec));
+    Label "sweep_loop";
+    Op (Instr.Comp (Std.scratch1, Std.null, Opcode.Comp_op.Gt));
+    Jump_to "sweep_tail";  (* non-tail pages done *)
+    Op (Instr.Dequeue (Std.page_reg, Std.active_queue, Opcode.Queue_end.Head));
+    Op (Instr.Ref Std.page_reg);
+    Jump_to "sweep_clear";  (* untouched since the last fault *)
+    (* a genuine hit: warm the latch (saturating at cap) *)
+    Op (Instr.Comp (score, cap, Opcode.Comp_op.Lt));
+    Jump_to "sweep_clear";  (* saturated *)
+    Op (Instr.Arith (score, score, Opcode.Arith_op.Inc));
+    Label "sweep_clear";
+    Op (Instr.Set (Std.page_reg, Opcode.Bit_action.Reset_bit, Opcode.Bit_which.Reference));
+    Op (Instr.Enqueue (Std.page_reg, Std.active_queue, Opcode.Queue_end.Tail));
+    Op (Instr.Arith (Std.scratch1, Std.scratch1, Opcode.Arith_op.Dec));
+    Jump_to "sweep_loop";
+    Label "sweep_tail";
+    (* the newest page last: its set bit is the install artifact, so it
+       rotates through uncounted, keeping the all-bits-clear invariant *)
+    Op (Instr.Dequeue (Std.page_reg, Std.active_queue, Opcode.Queue_end.Head));
+    Op (Instr.Set (Std.page_reg, Opcode.Bit_action.Reset_bit, Opcode.Bit_which.Reference));
+    Op (Instr.Enqueue (Std.page_reg, Std.active_queue, Opcode.Queue_end.Tail));
+    Label "decide";
+    Op (Instr.Emptyq Std.free_queue);
+    Jump_to "take";  (* free slot available *)
+    Op (Instr.Comp (score, threshold, Opcode.Comp_op.Ge));
+    Jump_to "fifo_evict";  (* cold -> cheap FIFO eviction *)
+    Op (Instr.Lru Std.active_queue);
+    Jump_to "take";  (* both outcomes land on take *)
+    Jump_to "take";
+    Label "fifo_evict";
+    Op (Instr.Fifo Std.active_queue);
+    Jump_to "take";
+    Label "take";
+    Op (Instr.Dequeue (Std.page_reg, Std.free_queue, Opcode.Queue_end.Head));
+    Op (Instr.Return Std.page_reg);
+  ]
+
+let adaptive () =
+  Program.make
+    [
+      (Events.page_fault, assemble adaptive_fault_code);
+      (Events.reclaim_frame, assemble std_reclaim);
+    ]
+
 let greedy_request ~flavour ~chunk =
   let instr_of_queue =
     match flavour with

@@ -33,6 +33,39 @@ val clock : unit -> Program.t
     {!fifo_second_chance}, which stages pages through an inactive
     queue. *)
 
+val adaptive : unit -> Program.t
+(** Adaptive FIFO/LRU switcher with an observed-reuse latch.  While the
+    score is below the threshold, each [PageFault] sweeps the whole
+    active queue (order-preserving, clearing every reference bit); a
+    set bit on any page but the newest — whose bit is only the
+    fault-resolution install artifact — is a genuine hit since the
+    previous fault and bumps the saturating score.  The score never
+    decays, so reaching the threshold latches the policy: [FIFO]
+    eviction before, the [LRU] complex command (a stack algorithm,
+    immune to Belady's anomaly) forever after, with the sweep skipped.
+    Requires the {!adaptive_operands} user operands in
+    [Api.spec.extra_operands]. *)
+
+val adaptive_score : int
+(** [Operand.Std.first_user] (0x10) — the saturating reuse score. *)
+
+val adaptive_threshold : int
+(** 0x11 — score at which eviction latches from FIFO to LRU. *)
+
+val adaptive_cap : int
+(** 0x12 — saturation ceiling for the score. *)
+
+val default_adaptive_threshold : int
+(** 1 — latch into LRU on the first observed reuse. *)
+
+val default_adaptive_cap : int
+(** 4 *)
+
+val adaptive_operands :
+  ?threshold:int -> ?cap:int -> unit -> (int * Operand.value) list
+(** Fresh user-operand bindings for {!adaptive} — score starts at 0.
+    Build a new list per install: the refs are the policy's state. *)
+
 val greedy_request : flavour:[ `Fifo | `Lru | `Mru ] -> chunk:int -> Program.t
 (** Like {!simple}, but before evicting it first tries to [Request]
     [chunk] more frames from the global frame manager, falling back to

@@ -123,9 +123,145 @@ let second_chance ~frames ?free_target ?inactive_target ?reserved_target accesse
     accesses;
   { faults = !faults; evictions = List.rev !evictions }
 
+(* ------------------------------------------------------------------ *)
+(* CLOCK (Policies.clock)                                              *)
+(*                                                                     *)
+(* The fault program sweeps the active-queue head: a referenced page   *)
+(* has its bit reset and rotates to the tail; the first unreferenced   *)
+(* page is evicted.  The kernel sets the reference bit on every pmap   *)
+(* hit and when a fault resolves, so the oracle mirrors exactly that.  *)
+(* The program's eviction goes through the free-queue Enqueue, which   *)
+(* emits the eviction record before flushing: dirty is the true bit.   *)
+(* ------------------------------------------------------------------ *)
+
+let clock ~frames accesses =
+  let active : sc_page Queue.t = Queue.create () in
+  let resident : (int, sc_page) Hashtbl.t = Hashtbl.create 64 in
+  let free = ref frames in
+  let faults = ref 0 in
+  let evictions = ref [] in
+  Array.iter
+    (fun { page; write } ->
+      match Hashtbl.find_opt resident page with
+      | Some p ->
+          p.referenced <- true;
+          if write then p.sc_dirty <- true
+      | None ->
+          incr faults;
+          if !free > 0 then decr free
+          else begin
+            let rec sweep () =
+              match Queue.take_opt active with
+              | None -> failwith "Oracle.clock: DeQueue from empty active queue"
+              | Some p ->
+                  if p.referenced then begin
+                    p.referenced <- false;
+                    Queue.push p active;
+                    sweep ()
+                  end
+                  else begin
+                    evictions := { page = p.sc_page; dirty = p.sc_dirty } :: !evictions;
+                    Hashtbl.remove resident p.sc_page
+                  end
+            in
+            sweep ()
+          end;
+          let p = { sc_page = page; referenced = true; sc_dirty = write } in
+          Hashtbl.add resident page p;
+          Queue.push p active)
+    accesses;
+  { faults = !faults; evictions = List.rev !evictions }
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive FIFO/LRU switcher (Policies.adaptive)                      *)
+(*                                                                     *)
+(* Reuse detection has to work around one artifact: the kernel sets a  *)
+(* page's reference bit when the fault that brought it in resolves, so *)
+(* a set bit does not by itself mean "hit".  The program keeps the     *)
+(* invariant that every active page's bit is clear after each          *)
+(* PageFault run: on the next fault it sweeps the whole active queue,  *)
+(* and any set bit on a page other than the newest (the tail — whose   *)
+(* bit is exactly the install artifact) is a genuine hit since the     *)
+(* last fault.  Each observed hit warms a saturating score; the score  *)
+(* never decays, so score >= threshold is a latch: the policy runs     *)
+(* FIFO (cheap, order-preserving sweep) until it first observes reuse, *)
+(* then LRU — a stack algorithm, immune to Belady's anomaly — forever  *)
+(* after.  Once latched the sweep is skipped entirely.                 *)
+(* ------------------------------------------------------------------ *)
+
+type ad_page = {
+  ad_page : int;
+  mutable ad_last : int;
+  mutable ad_ref : bool;
+  mutable ad_dirty : bool;
+}
+
+let default_adaptive_threshold = 1
+let default_adaptive_cap = 4
+
+let adaptive ~frames ?(threshold = default_adaptive_threshold)
+    ?(cap = default_adaptive_cap) accesses =
+  (* head first; insertion order, with LRU removals from the middle *)
+  let queue : ad_page list ref = ref [] in
+  let resident : (int, ad_page) Hashtbl.t = Hashtbl.create 64 in
+  let free = ref frames in
+  let score = ref 0 in
+  let faults = ref 0 in
+  let evictions = ref [] in
+  Array.iteri
+    (fun tick { page; write } ->
+      match Hashtbl.find_opt resident page with
+      | Some p ->
+          p.ad_last <- tick;
+          p.ad_ref <- true;
+          if write then p.ad_dirty <- true
+      | None ->
+          incr faults;
+          (* pre-latch: sweep every resident page, counting set bits on
+             all but the newest (tail) page and clearing them all *)
+          if !score < threshold then begin
+            let n = List.length !queue in
+            List.iteri
+              (fun i p ->
+                if i < n - 1 && p.ad_ref && !score < cap then incr score;
+                p.ad_ref <- false)
+              !queue
+          end;
+          if !free > 0 then decr free
+          else begin
+            let victim =
+              if !score >= threshold then
+                (* LRU: minimize last access (ticks are distinct) *)
+                match
+                  List.fold_left
+                    (fun best p ->
+                      match best with
+                      | Some b when b.ad_last <= p.ad_last -> best
+                      | _ -> Some p)
+                    None !queue
+                with
+                | Some v -> v
+                | None -> failwith "Oracle.adaptive: no resident page to evict"
+              else
+                match !queue with
+                | v :: _ -> v
+                | [] -> failwith "Oracle.adaptive: no resident page to evict"
+            in
+            evictions := { page = victim.ad_page; dirty = victim.ad_dirty } :: !evictions;
+            Hashtbl.remove resident victim.ad_page;
+            queue := List.filter (fun p -> p != victim) !queue
+          end;
+          let p = { ad_page = page; ad_last = tick; ad_ref = true; ad_dirty = write } in
+          Hashtbl.add resident page p;
+          queue := !queue @ [ p ])
+    accesses;
+  { faults = !faults; evictions = List.rev !evictions }
+
 let of_policy_name = function
   | "fifo" -> Some fifo
   | "lru" -> Some lru
   | "mru" -> Some mru
+  | "clock" -> Some clock
   | "second-chance" -> Some (fun ~frames accesses -> second_chance ~frames accesses)
+  | "adaptive" -> Some (fun ~frames accesses -> adaptive ~frames accesses)
   | _ -> None

@@ -42,7 +42,33 @@ val second_chance :
     would dequeue from an empty free queue (a runtime error in the real
     executor). *)
 
+val clock : frames:int -> access array -> result
+(** [Policies.clock]: sweep the active-queue head, rotating referenced
+    pages to the tail with a cleared bit until an unreferenced victim
+    turns up.  The kernel sets the reference bit on every access and on
+    fault resolution, which is what the oracle models.  Eviction
+    records carry the pre-flush dirty bit (the program frees through
+    the free-queue Enqueue, which records before laundering).  Raises
+    [Failure] on an empty sweep (impossible for [frames >= 1]). *)
+
+val default_adaptive_threshold : int
+(** 1 — latch into LRU on the first observed reuse. *)
+
+val default_adaptive_cap : int
+(** 4 — saturation ceiling for the reuse score. *)
+
+val adaptive :
+  frames:int -> ?threshold:int -> ?cap:int -> access array -> result
+(** [Policies.adaptive]: while un-latched, each fault sweeps the whole
+    resident set, clearing every reference bit; a set bit on any page
+    but the newest (whose bit is the fault-resolution install artifact)
+    is a genuine hit since the previous fault and bumps a saturating
+    score (ceiling [cap]).  The score never decays, so
+    [score >= threshold] is a latch: FIFO eviction before it, LRU — an
+    anomaly-immune stack algorithm — forever after, with the sweep
+    skipped.  Defaults match [Policies.adaptive_operands]. *)
+
 val of_policy_name :
   string -> (frames:int -> access array -> result) option
-(** ["fifo" | "lru" | "mru" | "second-chance"] (second-chance with
-    default targets). *)
+(** ["fifo" | "lru" | "mru" | "clock" | "second-chance" | "adaptive"]
+    (second-chance and adaptive with default parameters). *)

@@ -19,7 +19,7 @@ let default_policy_cfg =
 let pattern_names =
   [ "cyclic"; "sequential"; "reverse"; "strided"; "random"; "zipf"; "phased" ]
 
-let policy_names = [ "fifo"; "lru"; "mru"; "clock"; "second-chance" ]
+let policy_names = [ "fifo"; "lru"; "mru"; "clock"; "second-chance"; "adaptive" ]
 
 type scenario = Policy of policy_cfg | Named of string
 
@@ -36,7 +36,20 @@ let policy_of_name = function
   | "mru" -> Some (Policies.mru ())
   | "clock" -> Some (Policies.clock ())
   | "second-chance" -> Some (Policies.fifo_second_chance ())
+  | "adaptive" -> Some (Policies.adaptive ())
   | _ -> None
+
+(* The adaptive policy carries private state (score/threshold/cap) in
+   user operand slots, so its spec declares them; the refs must be
+   fresh per install. *)
+let spec_of_policy_name name ~min_frames =
+  match policy_of_name name with
+  | None -> None
+  | Some program ->
+      let spec = Api.default_spec ~policy:program ~min_frames in
+      if String.equal name "adaptive" then
+        Some { spec with Api.extra_operands = Policies.adaptive_operands () }
+      else Some spec
 
 let build_trace cfg =
   let rng = Rng.create ~seed:cfg.seed in
@@ -61,9 +74,9 @@ let build_trace cfg =
    be a pure function of [cfg] — record and replay both call it and any
    divergence shows up as a digest mismatch. *)
 let setup_policy cfg =
-  match policy_of_name cfg.policy with
+  match spec_of_policy_name cfg.policy ~min_frames:cfg.frames with
   | None -> Error (Printf.sprintf "unknown policy %S" cfg.policy)
-  | Some program ->
+  | Some spec ->
       let config =
         {
           Kernel.default_config with
@@ -75,7 +88,6 @@ let setup_policy cfg =
       let k = Kernel.create ~config () in
       let sys = Api.init ~start_checker:false k in
       let task = Kernel.create_task k ~name:"trace" () in
-      let spec = Api.default_spec ~policy:program ~min_frames:cfg.frames in
       Result.map
         (fun (region, _container) -> (k, task, region))
         (Api.vm_map_hipec sys task ~name:"trace-data" ~npages:cfg.npages spec)
@@ -118,6 +130,23 @@ let record_policy cfg =
               Kernel.drain_io k;
               ("start_vpn", string_of_int region.Vm_map.start_vpn) :: policy_meta cfg)
             (setup_policy cfg))
+
+(* Record an explicit access array under [cfg]'s machine instead of a
+   generated pattern — adversary witnesses are recorded this way, with
+   cfg.pattern naming their provenance.  Replay never regenerates the
+   pattern (it re-drives the recorded Access events), so the resulting
+   recording round-trips through [replay] like any policy trace. *)
+let record_accesses cfg accesses =
+  collect (fun () ->
+      Result.map
+        (fun (k, task, region) ->
+          Array.iter
+            (fun { Hipec_trace.Oracle.page; write } ->
+              Kernel.access_vpn k task ~vpn:(region.Vm_map.start_vpn + page) ~write)
+            accesses;
+          Kernel.drain_io k;
+          ("start_vpn", string_of_int region.Vm_map.start_vpn) :: policy_meta cfg)
+        (setup_policy cfg))
 
 let run_named name =
   match name with

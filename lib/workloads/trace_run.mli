@@ -36,6 +36,18 @@ val named_scenarios : string list
 val scenario_of_name : string -> scenario option
 (** Resolves a named scenario, or ["policy"] to {!default_policy_cfg}. *)
 
+val spec_of_policy_name : string -> min_frames:int -> Hipec_core.Api.spec option
+(** The container spec [setup] installs for a named policy —
+    [Api.default_spec], plus the adaptive policy's user operands
+    (fresh refs per call). *)
+
+val record_accesses :
+  policy_cfg -> Oracle.access array -> (Trace.Recorded.t, string) result
+(** Record an explicit access array (pages are region-relative) run
+    under [cfg]'s machine — how adversary witnesses become [.trace]
+    regression files.  [cfg.pattern] is provenance only; [replay]
+    re-drives the recorded access events and never regenerates it. *)
+
 val record : scenario -> (Trace.Recorded.t, string) result
 (** Run the scenario under a fresh storing collector.  Any previously
     installed collector is replaced and the collector is uninstalled

@@ -105,6 +105,12 @@ let prop_percentile_vs_oracle =
       List.iter (fun x -> St.Histogram.add h (float_of_int x)) xs;
       let samples = Array.of_list (List.map float_of_int xs) in
       let exact = St.Summary.percentile samples p in
+      (* the shared test-support reference implements the same
+         nearest-rank rule independently; pin them together first *)
+      if exact <> Test_support.percentile_exact samples p then
+        QCheck.Test.fail_reportf "Summary.percentile %g disagrees with the reference %g"
+          exact
+          (Test_support.percentile_exact samples p);
       let est = St.Histogram.percentile h p in
       est >= exact && est <= Float.max 1. (2. *. exact) && est <= St.Histogram.max h)
 

@@ -14,7 +14,7 @@ module Oracle = Hipec_trace.Oracle
 
 (* Run [accesses] against a real kernel under [policy]; return the
    observable in the oracle's vocabulary. *)
-let run_executor ~policy ~frames ~npages accesses =
+let run_executor ~policy ?(extra = []) ~frames ~npages accesses =
   let c = Trace.start ~store:true () in
   let tear_down () = ignore (Trace.stop ()) in
   match
@@ -36,7 +36,7 @@ let run_executor ~policy ~frames ~npages accesses =
           accesses;
         Kernel.drain_io k)
       (Api.vm_allocate_hipec sys task ~npages
-         (Api.default_spec ~policy ~min_frames:frames))
+         { (Api.default_spec ~policy ~min_frames:frames) with Api.extra_operands = extra })
   with
   | exception e ->
       tear_down ();
@@ -111,6 +111,24 @@ let second_chance_prop =
         (Oracle.second_chance ~frames accesses)
         (run_executor ~policy:(Policies.fifo_second_chance ()) ~frames ~npages accesses))
 
+let clock_prop =
+  QCheck.Test.make ~name:"executor clock matches the pure oracle" ~count:40
+    (QCheck.make ~print:print_case (case_gen ~fmin:4 ~fmax:12))
+    (fun (frames, npages, accesses) ->
+      check_equal ~name:"clock" (Oracle.clock ~frames accesses)
+        (run_executor ~policy:(Policies.clock ()) ~frames ~npages accesses))
+
+let adaptive_prop =
+  QCheck.Test.make ~name:"executor adaptive matches the pure oracle" ~count:40
+    (QCheck.make ~print:print_case (case_gen ~fmin:4 ~fmax:12))
+    (fun (frames, npages, accesses) ->
+      check_equal ~name:"adaptive"
+        (Oracle.adaptive ~frames accesses)
+        (run_executor
+           ~policy:(Policies.adaptive ())
+           ~extra:(Policies.adaptive_operands ())
+           ~frames ~npages accesses))
+
 (* ------------------------------------------------------------------ *)
 (* Hand-worked unit cases, so a failure localizes without qcheck        *)
 (* ------------------------------------------------------------------ *)
@@ -142,8 +160,40 @@ let test_oracle_of_policy_name () =
       match Oracle.of_policy_name name with
       | Some _ -> ()
       | None -> Alcotest.fail ("missing oracle for " ^ name))
-    [ "fifo"; "lru"; "mru"; "second-chance" ];
+    [ "fifo"; "lru"; "mru"; "clock"; "second-chance"; "adaptive" ];
   Alcotest.(check bool) "unknown rejected" true (Oracle.of_policy_name "opt" = None)
+
+(* The classic Belady anomaly witness: FIFO on 1 2 3 4 1 2 5 1 2 3 4 5
+   faults 9 times with 3 frames but 10 times with 4 — more memory, more
+   faults.  The adversary search engine hunts for exactly this shape,
+   so the oracle it trusts is pinned here by hand. *)
+let belady_witness =
+  t
+    (List.map
+       (fun p -> (p, false))
+       [ 1; 2; 3; 4; 1; 2; 5; 1; 2; 3; 4; 5 ])
+
+let test_fifo_belady_anomaly () =
+  let f3 = (Oracle.fifo ~frames:3 belady_witness).Oracle.faults in
+  let f4 = (Oracle.fifo ~frames:4 belady_witness).Oracle.faults in
+  Alcotest.(check int) "faults at 3 frames" 9 f3;
+  Alcotest.(check int) "faults at 4 frames" 10 f4;
+  Alcotest.(check bool) "anomaly: more frames, more faults" true (f4 > f3)
+
+(* LRU is a stack algorithm: the resident set at k frames is a subset
+   of the resident set at k+1, so adding frames can never add faults —
+   the property that makes the adaptive policy's LRU mode a safe
+   harbor. *)
+let lru_no_anomaly_prop =
+  QCheck.Test.make ~name:"lru never exhibits Belady's anomaly" ~count:300
+    (QCheck.make ~print:print_case (case_gen ~fmin:1 ~fmax:10))
+    (fun (frames, _npages, accesses) ->
+      let f = (Oracle.lru ~frames accesses).Oracle.faults in
+      let f' = (Oracle.lru ~frames:(frames + 1) accesses).Oracle.faults in
+      if f' > f then
+        QCheck.Test.fail_reportf "lru anomaly: faults(%d)=%d < faults(%d)=%d" frames f
+          (frames + 1) f';
+      true)
 
 let test_cyclic_mru_beats_lru () =
   (* the paper's nested-loop pattern: MRU faults strictly less *)
@@ -168,7 +218,13 @@ let () =
           Alcotest.test_case "lru vs mru" `Quick test_lru_vs_mru_handworked;
           Alcotest.test_case "of_policy_name" `Quick test_oracle_of_policy_name;
           Alcotest.test_case "cyclic: mru beats lru" `Quick test_cyclic_mru_beats_lru;
+          Alcotest.test_case "fifo: Belady anomaly witness" `Quick test_fifo_belady_anomaly;
         ] );
+      ( "anomaly", qc [ lru_no_anomaly_prop ] );
       ( "differential",
-        qc [ simple_prop `Fifo; simple_prop `Lru; simple_prop `Mru; second_chance_prop ] );
+        qc
+          [
+            simple_prop `Fifo; simple_prop `Lru; simple_prop `Mru; second_chance_prop;
+            clock_prop; adaptive_prop;
+          ] );
     ]

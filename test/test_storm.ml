@@ -55,7 +55,13 @@ let test_percentile () =
   Alcotest.(check int) "p99 of 1..100" 99 (Storm.percentile xs 0.99);
   (* unsorted input is sorted internally *)
   let ys = [| 30; 10; 20 |] in
-  Alcotest.(check int) "max" 30 (Storm.percentile ys 1.0)
+  Alcotest.(check int) "max" 30 (Storm.percentile ys 1.0);
+  (* and the shared independent reference agrees everywhere above *)
+  List.iter
+    (fun (samples, p) ->
+      Alcotest.(check int) "matches Test_support.percentile"
+        (Test_support.percentile samples p) (Storm.percentile samples p))
+    [ ([||], 0.99); ([| 7 |], 0.5); (xs, 0.50); (xs, 0.99); (ys, 1.0); (ys, 0.0) ]
 
 let () =
   Alcotest.run "storm"
