@@ -18,7 +18,9 @@ golden:
 	dune exec test/test_golden.exe
 
 # interp vs compiled executor on the same scenarios; fails on digest
-# divergence and rewrites BENCH_3.json
+# divergence or on a compiled-speedup regression (executor-attributed
+# < 1.0x anywhere, spin-heavy whole-run < 1.5x) and rewrites
+# BENCH_7.json
 backend-bench:
 	dune exec bench/main.exe -- backend --quick
 

@@ -59,6 +59,16 @@ let translate_cmd =
           (Program.total_commands out.Hipec_pseudoc.Codegen.program)
           (List.length (Program.events out.Hipec_pseudoc.Codegen.program))
           (List.length out.Hipec_pseudoc.Codegen.extra_operands);
+        (* what the compiled backend will fuse into superinstructions *)
+        let stats, covered, total =
+          Hipec_pseudoc.Optimizer.fusion_report out.Hipec_pseudoc.Codegen.program
+        in
+        if covered > 0 then
+          Printf.printf ";; compiled-backend fusion: %s — %d of %d commands covered\n"
+            (String.concat ", "
+               (List.map (fun (n, c) -> Printf.sprintf "%d %s" c n) stats))
+            covered total
+        else Printf.printf ";; compiled-backend fusion: no fusable groups\n";
         0
   in
   Cmd.v
@@ -654,7 +664,14 @@ let print_stat_tables reg backends =
             cells;
           Printf.printf "  %-10s %10d %14d %14d\n" "(overhead)"
             overhead.Mx.Profile.count overhead.Mx.Profile.sim_ns
-            overhead.Mx.Profile.wall_ns)
+            overhead.Mx.Profile.wall_ns;
+          (* the overhead cell is everything before the first fetch of
+             each run — dispatch + entry, i.e. the per-run setup cost *)
+          if runs > 0 then
+            Printf.printf "  %-10s %10s %14d %14d  per-run setup (avg ns)\n"
+              "(run setup)" ""
+              (overhead.Mx.Profile.sim_ns / runs)
+              (overhead.Mx.Profile.wall_ns / runs))
     backends
 
 let print_stat_watch reg =

@@ -120,7 +120,7 @@ let install_hook t container =
            checker's next sweep retires it.  Either way the region falls
            back to the default pageout policy and the kernel resolves
            this fault there — the task survives. *)
-        if Container.execution_started container <> None then begin
+        if Container.executing container then begin
           let engine = Kernel.engine t.kernel in
           let rec wait () =
             if

@@ -15,12 +15,17 @@ type exec = Value of Operand.value option | Err of string | Tout
 (* Mutable state of one top-level [run].  The step budget and the
    activation depth are shared across nested [Activate] frames, exactly
    like the interpreter's [steps] ref and [depth] argument.  [prof] is
-   the per-opcode profiler's boundary-timer state: [None] (one load and
-   branch per step) unless a metrics registry is installed. *)
+   the per-opcode profiler's boundary-timer state; it also selects the
+   closure table: profiled runs execute an unfused table whose per-step
+   prologue feeds the boundary timer, unprofiled runs execute a table
+   with no profiler branch at all (and with superinstructions fused
+   in).  One [rt] lives in each [t] and is reset per run — runs never
+   nest on the same container (the reclaim path's re-entry guard), so
+   the scratch record is safe to reuse and [run] allocates nothing. *)
 type rt = {
   mutable steps : int;
   mutable depth : int;
-  prof : Hipec_metrics.Metrics.Profile.run option;
+  mutable prof : Hipec_metrics.Metrics.Profile.run option;
 }
 
 type code = rt -> exec
@@ -30,7 +35,21 @@ type t = {
   engine : Engine.t;
   dispatch_cost : Sim_time.t;
   entry : int -> code;
+  scratch : rt;
+  fused : int;  (* superinstruction groups emitted across all events *)
 }
+
+(* Install-time toggle for the superinstruction pass; the differential
+   tests flip it to compare fused against unfused closure tables. *)
+let fusion_enabled = ref true
+
+(* Events are a byte in the [Activate] encoding, so 256 slots cover the
+   whole dispatch space.  The undefined-event diagnostics (interpreter
+   parity text) are formatted once per process, not per call. *)
+let undefined_event_code : code array =
+  Array.init 256 (fun ev ->
+      let msg = Printf.sprintf "undefined event %s" (Events.name ev) in
+      fun _ -> Err msg)
 
 (* Compile-time operand resolution: either a direct accessor of the cell
    the slot points at, or the exact diagnostic the interpreter would
@@ -104,26 +123,26 @@ let compile ~engine ~costs ~max_steps ~max_activation_depth ~services ~counter c
   let cpage_slot ix = Operand.read_page_slot ops ix in
   let cqueue ix = Operand.read_queue ops ix in
   let empty_page_msg ix = Printf.sprintf "operand %d: empty page register" ix in
-  let last_access p = Sim_time.to_ns (Vm_page.last_access p) in
 
-  let entries : (int, code) Hashtbl.t = Hashtbl.create 8 in
+  (* Dense event dispatch: two precompiled 256-slot arrays (fast and
+     profiled flavors), preloaded with the shared undefined-event error
+     closures.  [entry] is one depth check, one bounds check and one
+     indexed load — no hashing, no string formatting. *)
+  let fast_tbl = Array.copy undefined_event_code in
+  let prof_tbl = Array.copy undefined_event_code in
   let depth_msg =
     Printf.sprintf "activation depth exceeds %d" max_activation_depth
   in
-  (* Event entry: depth check, undefined-event check, run counter — the
-     interpreter's [exec_event] prologue.  Dispatch goes through the
-     table so events may activate each other in any definition order. *)
   let entry event rt =
     if rt.depth > max_activation_depth then Err depth_msg
+    else if event land -256 <> 0 then
+      Err (Printf.sprintf "undefined event %s" (Events.name event))
     else
-      match Hashtbl.find_opt entries event with
-      | None -> Err (Printf.sprintf "undefined event %s" (Events.name event))
-      | Some first ->
-          Container.count_event_run container;
-          first rt
+      let table = match rt.prof with None -> fast_tbl | Some _ -> prof_tbl in
+      (Array.unsafe_get table event) rt
   in
 
-  let compile_event event code : code =
+  let compile_event ~profiled event code : code * int =
     let len = Array.length code in
     let table : code array = Array.make len (fun _ -> Tout) in
     let ev_name = Events.name event in
@@ -423,8 +442,8 @@ let compile ~engine ~costs ~max_steps ~max_activation_depth ~services ~counter c
               let select =
                 match instr with
                 | Instr.Fifo _ -> Page_queue.peek_head
-                | Instr.Lru _ -> Page_queue.find_min ~by:last_access
-                | _ -> Page_queue.find_max ~by:last_access
+                | Instr.Lru _ -> Page_queue.find_oldest
+                | _ -> Page_queue.find_newest
               in
               let reg = cpage_slot Operand.Std.page_reg in
               (* Evict one page chosen by [select]; it becomes a free
@@ -450,37 +469,311 @@ let compile ~engine ~costs ~max_steps ~max_activation_depth ~services ~counter c
     Array.iteri
       (fun cc instr ->
         let b = body cc instr in
-        (* Opcode index resolved at compile time for the profiler. *)
-        let opc = Opcode.code (Instr.opcode instr) in
-        (* The per-step prologue, in the interpreter's exact order:
-           profiler boundary, count the step, charge the fetch, then
-           check the budget. *)
-        table.(cc) <-
-          (fun rt ->
-            (match rt.prof with
-            | None -> ()
-            | Some pr ->
-                Hipec_metrics.Metrics.profile_step pr ~opcode:opc
-                  ~sim_ns:(Sim_time.to_ns (Engine.now engine)));
-            rt.steps <- rt.steps + 1;
-            incr counter;
-            Container.count_commands container 1;
-            Engine.advance engine fetch_cost;
-            if rt.steps > max_steps then Tout else b rt))
+        if profiled then begin
+          (* Opcode index resolved at compile time for the profiler. *)
+          let opc = Opcode.code (Instr.opcode instr) in
+          (* The per-step prologue, in the interpreter's exact order:
+             profiler boundary, count the step, charge the fetch, then
+             check the budget. *)
+          table.(cc) <-
+            (fun rt ->
+              (match rt.prof with
+              | None -> ()
+              | Some pr ->
+                  Hipec_metrics.Metrics.profile_step pr ~opcode:opc
+                    ~sim_ns:(Sim_time.to_ns (Engine.now engine)));
+              rt.steps <- rt.steps + 1;
+              incr counter;
+              Container.count_commands container 1;
+              Engine.advance engine fetch_cost;
+              if rt.steps > max_steps then Tout else b rt)
+        end
+        else
+          (* Fast flavor: identical accounting, no profiler branch —
+             the boundary-timer check is hoisted to [entry] (via the
+             table split), not paid per step. *)
+          table.(cc) <-
+            (fun rt ->
+              rt.steps <- rt.steps + 1;
+              incr counter;
+              Container.count_commands container 1;
+              Engine.advance engine fetch_cost;
+              if rt.steps > max_steps then Tout else b rt))
       code;
-    goto 0
+
+    (* ---- superinstruction fusion (fast flavor only) ----------------
+       Overwrite each fusable group's head slot with one closure doing
+       the whole group's work, charging exactly the constituents'
+       simulated costs (k fetches, the same queue ops) and counting
+       exactly the constituents' commands.  Singles stay in the table:
+       control transfers into the middle of a group, operand-resolution
+       failures and step-budget boundaries all fall back to them, so
+       observable behaviour — trace digests included — is unchanged. *)
+    let fused = ref 0 in
+    (if (not profiled) && !fusion_enabled then
+       let fetch_ns = Sim_time.to_ns fetch_cost in
+       (* One constituent step of a fused closure: the singles prologue
+          minus the budget branch (checked by the caller). *)
+       let charge1 rt =
+         rt.steps <- rt.steps + 1;
+         incr counter;
+         Container.count_commands container 1;
+         Engine.advance engine fetch_cost
+       in
+       let fuse_group g : code option =
+         match g with
+         | Fusion.Test_skip { cc } -> (
+             let jump_target =
+               match code.(cc + 1) with Instr.Jump t -> t | _ -> assert false
+             in
+             let taken = goto (cc + 2) in
+             let target = goto jump_target in
+             (* test FALSE: the else-branch Jump is a counted step *)
+             let not_taken rt =
+               charge1 rt;
+               if rt.steps > max_steps then Tout else target rt
+             in
+             match code.(cc) with
+             | Instr.Comp (a, b, op) -> (
+                 match (cread_int a, cread_int b) with
+                 | G ga, G gb ->
+                     let test =
+                       match op with
+                       | Opcode.Comp_op.Gt -> fun () -> ga () > gb ()
+                       | Lt -> fun () -> ga () < gb ()
+                       | Eq -> fun () -> ga () = gb ()
+                       | Ne -> fun () -> ga () <> gb ()
+                       | Ge -> fun () -> ga () >= gb ()
+                       | Le -> fun () -> ga () <= gb ()
+                     in
+                     Some
+                       (fun rt ->
+                         charge1 rt;
+                         if rt.steps > max_steps then Tout
+                         else if test () then taken rt
+                         else not_taken rt)
+                 | _ -> None)
+             | Instr.Emptyq q -> (
+                 match cqueue q with
+                 | Error _ -> None
+                 | Ok queue ->
+                     Some
+                       (fun rt ->
+                         charge1 rt;
+                         if rt.steps > max_steps then Tout
+                         else begin
+                           Engine.advance engine queue_cost;
+                           if Page_queue.is_empty queue then taken rt
+                           else not_taken rt
+                         end))
+             | Instr.Ref p | Instr.Mod p -> (
+                 match cpage_slot p with
+                 | Error _ -> None
+                 | Ok slot ->
+                     let empty = empty_page_msg p in
+                     let bit =
+                       match code.(cc) with
+                       | Instr.Ref _ -> Vm_page.referenced
+                       | _ -> Vm_page.dirty
+                     in
+                     Some
+                       (fun rt ->
+                         charge1 rt;
+                         if rt.steps > max_steps then Tout
+                         else
+                           match !slot with
+                           | None -> Err empty
+                           | Some page ->
+                               if bit page then taken rt else not_taken rt))
+             | _ -> None)
+         | Fusion.Arith_chain { cc; len = k } -> (
+             let resolve i =
+               match code.(cc + i) with
+               | Instr.Arith (a, b, op) -> (
+                   match (cread_int a, cwrite_int a) with
+                   | G geta, S seta -> (
+                       match op with
+                       | Opcode.Arith_op.Inc -> Some (fun () -> seta (geta () + 1))
+                       | Dec -> Some (fun () -> seta (geta () - 1))
+                       | (Add | Sub | Mul) as op -> (
+                           match cread_int b with
+                           | Gerr _ -> None
+                           | G getb ->
+                               Some
+                                 (match op with
+                                 | Opcode.Arith_op.Add ->
+                                     fun () -> seta (geta () + getb ())
+                                 | Sub -> fun () -> seta (geta () - getb ())
+                                 | _ -> fun () -> seta (geta () * getb ())))
+                       | Div | Rem -> None)
+                   | _ -> None)
+               | _ -> None
+             in
+             let rec gather i acc =
+               if i = k then Some (List.rev acc)
+               else
+                 match resolve i with
+                 | Some f -> gather (i + 1) (f :: acc)
+                 | None -> None
+             in
+             match gather 0 [] with
+             | None | Some [] -> None
+             | Some (f :: rest) ->
+                 let act =
+                   List.fold_left
+                     (fun acc g () ->
+                       acc ();
+                       g ())
+                     f rest
+                 in
+                 let chain_fetch = Sim_time.ns (k * fetch_ns) in
+                 let cont = goto (cc + k) in
+                 (* budget boundary inside the chain: run the untouched
+                    singles for exact per-step Tout semantics *)
+                 let slow = table.(cc) in
+                 Some
+                   (fun rt ->
+                     if rt.steps + k > max_steps then slow rt
+                     else begin
+                       rt.steps <- rt.steps + k;
+                       counter := !counter + k;
+                       Container.count_commands container k;
+                       Engine.advance engine chain_fetch;
+                       act ();
+                       cont rt
+                     end))
+         | Fusion.Deq_enq { cc; with_set } -> (
+             let rest = if with_set then 2 else 1 in
+             let enq_cc = cc + rest in
+             match (code.(cc), code.(enq_cc)) with
+             | Instr.Dequeue (p, q, dw), Instr.Enqueue (_, q2, ew) -> (
+                 match (cqueue q, cqueue q2, cpage_slot p) with
+                 | Ok srcq, Ok dstq, Ok slot
+                   when Page_queue.id dstq <> Page_queue.id free_q -> (
+                     (* enqueueing onto the free queue launders/unbinds
+                        (make_free_slot) — not fused, singles handle it *)
+                     let set_apply =
+                       if not with_set then
+                         Some (fun (_ : Vm_page.t) -> ())
+                       else
+                         match code.(cc + 1) with
+                         | Instr.Set (_, action, which) ->
+                             let v = action = Opcode.Bit_action.Set_bit in
+                             Some
+                               (match which with
+                               | Opcode.Bit_which.Reference ->
+                                   fun page ->
+                                     Frame.set_referenced (Vm_page.frame page) v
+                               | Opcode.Bit_which.Modify ->
+                                   fun page ->
+                                     Frame.set_modified (Vm_page.frame page) v)
+                         | _ -> None
+                     in
+                     match set_apply with
+                     | None -> None
+                     | Some set_apply ->
+                         let deq =
+                           match dw with
+                           | Opcode.Queue_end.Head -> Page_queue.dequeue_head
+                           | Opcode.Queue_end.Tail -> Page_queue.dequeue_tail
+                         in
+                         let enq =
+                           match ew with
+                           | Opcode.Queue_end.Head -> Page_queue.enqueue_head
+                           | Opcode.Queue_end.Tail -> Page_queue.enqueue_tail
+                         in
+                         let deq_empty =
+                           Printf.sprintf "DeQueue from empty queue %s"
+                             (Page_queue.name srcq)
+                         in
+                         (* the rest of the group is infallible once the
+                            dequeue lands, so its fetches and the
+                            enqueue's queue op batch into one advance *)
+                         let rest_cost =
+                           Sim_time.ns
+                             ((rest * fetch_ns) + Sim_time.to_ns queue_cost)
+                         in
+                         let rest_slow = goto (cc + 1) in
+                         let cont = goto (enq_cc + 1) in
+                         Some
+                           (fun rt ->
+                             charge1 rt;
+                             if rt.steps > max_steps then Tout
+                             else begin
+                               Engine.advance engine queue_cost;
+                               match deq srcq with
+                               | None -> Err deq_empty
+                               | Some page ->
+                                   slot := Some page;
+                                   if rt.steps + rest > max_steps then
+                                     rest_slow rt
+                                   else begin
+                                     rt.steps <- rt.steps + rest;
+                                     counter := !counter + rest;
+                                     Container.count_commands container rest;
+                                     Engine.advance engine rest_cost;
+                                     set_apply page;
+                                     enq dstq page;
+                                     cont rt
+                                   end
+                             end))
+                 | _ -> None)
+             | _ -> None)
+       in
+       List.iter
+         (fun g ->
+           match fuse_group g with
+           | Some c ->
+               table.(Fusion.head g) <- c;
+               incr fused
+           | None -> ())
+         (Fusion.plan code));
+    (goto 0, !fused)
   in
+  let fused_total = ref 0 in
   List.iter
     (fun event ->
       match Program.code (Container.program container) ~event with
       | None -> ()
-      | Some code -> Hashtbl.replace entries event (compile_event event code))
+      | Some code ->
+          if event land -256 = 0 then begin
+            let fast_code, fused = compile_event ~profiled:false event code in
+            let prof_code, _ = compile_event ~profiled:true event code in
+            fused_total := !fused_total + fused;
+            (* the interpreter's run counter ticks on every defined-event
+               entry, nested activations included *)
+            fast_tbl.(event) <-
+              (fun rt ->
+                Container.count_event_run container;
+                fast_code rt);
+            prof_tbl.(event) <-
+              (fun rt ->
+                Container.count_event_run container;
+                prof_code rt)
+          end)
     (Program.events (Container.program container));
-  { container; engine; dispatch_cost = costs.Costs.hipec_dispatch; entry }
+  {
+    container;
+    engine;
+    dispatch_cost = costs.Costs.hipec_dispatch;
+    entry;
+    scratch = { steps = 0; depth = 0; prof = None };
+    fused = !fused_total;
+  }
+
+let container t = t.container
+let fused_groups t = t.fused
 
 let run ?prof t ~event =
-  Container.set_execution_started t.container (Some (Engine.now t.engine));
+  Container.start_execution t.container ~at:(Engine.now t.engine);
   Engine.advance t.engine t.dispatch_cost;
-  let rt = { steps = 0; depth = 0; prof } in
-  try t.entry event rt
-  with Invalid_argument m -> Err (Printf.sprintf "kernel check failed: %s" m)
+  let rt = t.scratch in
+  rt.steps <- 0;
+  rt.depth <- 0;
+  rt.prof <- prof;
+  let r =
+    try t.entry event rt
+    with Invalid_argument m -> Err (Printf.sprintf "kernel check failed: %s" m)
+  in
+  rt.prof <- None;
+  r

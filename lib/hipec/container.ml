@@ -16,7 +16,11 @@ type t = {
   queues : Operand.std_queues;
   min_frames : int;
   mutable frames_held : int;
-  mutable execution_started : Sim_time.t option;
+  (* split representation so the fault hot path can mark a run
+     started/stopped without allocating a [Some] per fault; the option
+     view is rebuilt on demand for the checker *)
+  mutable executing : bool;
+  mutable execution_started_at : Sim_time.t;
   mutable timed_out : bool;
   mutable state : state;
   mutable events_run : int;
@@ -43,7 +47,8 @@ let create ~task ~obj ~region ~program ~operands ~queues ~min_frames () =
     queues;
     min_frames;
     frames_held = 0;
-    execution_started = None;
+    executing = false;
+    execution_started_at = Sim_time.zero;
     timed_out = false;
     state = Active;
     events_run = 0;
@@ -72,8 +77,18 @@ let remove_frames t n =
   t.frames_held <- t.frames_held - n
 
 let resident_pages t = Vm_object.resident_count t.obj
-let execution_started t = t.execution_started
-let set_execution_started t v = t.execution_started <- v
+let executing t = t.executing
+let execution_started t = if t.executing then Some t.execution_started_at else None
+
+let start_execution t ~at =
+  t.executing <- true;
+  t.execution_started_at <- at
+
+let stop_execution t = t.executing <- false
+
+let set_execution_started t = function
+  | None -> t.executing <- false
+  | Some at -> start_execution t ~at
 let timed_out t = t.timed_out
 let set_timed_out t = t.timed_out <- true
 let state t = t.state

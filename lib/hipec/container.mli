@@ -47,8 +47,19 @@ val resident_pages : t -> int
 
 (** {1 Executor timestamp (polled by the security checker)} *)
 
+val executing : t -> bool
+(** A policy run is in flight (allocation-free; the fault hot path and
+    the reclaim re-entry guard poll this instead of building an option). *)
+
 val execution_started : t -> Sim_time.t option
+(** Option view of {!executing}/start time, for the checker and tests. *)
+
+val start_execution : t -> at:Sim_time.t -> unit
+val stop_execution : t -> unit
+(** Allocation-free setters used by the executor backends per run. *)
+
 val set_execution_started : t -> Sim_time.t option -> unit
+(** Compatibility wrapper over {!start_execution}/{!stop_execution}. *)
 
 val timed_out : t -> bool
 val set_timed_out : t -> unit

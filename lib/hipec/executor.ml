@@ -42,6 +42,9 @@ type t = {
   backend : backend;
   counter : int ref;  (* commands executed, shared with compiled code *)
   compiled : (int, Compiled.t) Hashtbl.t;  (* container id -> compiled program *)
+  mutable last_compiled : Compiled.t option;
+      (* one-slot cache over [compiled]: fault streams hit the same
+         container repeatedly, so the common lookup is pointer-equal *)
 }
 
 let create ?(max_steps = 100_000) ?(max_activation_depth = 16) ?backend ~engine ~costs
@@ -56,6 +59,7 @@ let create ?(max_steps = 100_000) ?(max_activation_depth = 16) ?backend ~engine 
     backend;
     counter = ref 0;
     compiled = Hashtbl.create 8;
+    last_compiled = None;
   }
 
 let commands_executed t = !(t.counter)
@@ -63,22 +67,34 @@ let backend t = t.backend
 let max_steps t = t.max_steps
 
 let compiled_for t container =
-  let key = Container.id container in
-  match Hashtbl.find_opt t.compiled key with
-  | Some c -> c
-  | None ->
+  match t.last_compiled with
+  | Some c when Compiled.container c == container -> c
+  | _ ->
+      let key = Container.id container in
       let c =
-        Compiled.compile ~engine:t.engine ~costs:t.costs ~max_steps:t.max_steps
-          ~max_activation_depth:t.max_activation_depth ~services:t.services
-          ~counter:t.counter container
+        match Hashtbl.find_opt t.compiled key with
+        | Some c -> c
+        | None ->
+            let c =
+              Compiled.compile ~engine:t.engine ~costs:t.costs
+                ~max_steps:t.max_steps
+                ~max_activation_depth:t.max_activation_depth
+                ~services:t.services ~counter:t.counter container
+            in
+            Hashtbl.replace t.compiled key c;
+            c
       in
-      Hashtbl.replace t.compiled key c;
+      t.last_compiled <- Some c;
       c
 
 let precompile t container =
   match t.backend with Compiled -> ignore (compiled_for t container) | Interp -> ()
 
-let forget t container = Hashtbl.remove t.compiled (Container.id container)
+let forget t container =
+  (match t.last_compiled with
+  | Some c when Compiled.container c == container -> t.last_compiled <- None
+  | _ -> ());
+  Hashtbl.remove t.compiled (Container.id container)
 
 (* Internal execution result: a value, an error, or budget exhaustion
    (shared with the compiled backend). *)
@@ -93,7 +109,7 @@ let run_interp t container ~event ~prof =
   let free_q = Container.free_queue container in
   let charge d = Engine.advance t.engine d in
   let steps = ref 0 in
-  Container.set_execution_started container (Some (Engine.now t.engine));
+  Container.start_execution container ~at:(Engine.now t.engine);
   charge t.costs.Costs.hipec_dispatch;
 
   (* [Flush], and the implicit launder when a dirty bound page moves to
@@ -311,13 +327,11 @@ let run_interp t container ~event ~prof =
                     set_cond found
                 | Instr.Lru q ->
                     let* queue = Operand.read_queue ops q in
-                    let by p = Sim_time.to_ns (Vm_page.last_access p) in
-                    let* found = complex_replace queue (Page_queue.find_min ~by) in
+                    let* found = complex_replace queue Page_queue.find_oldest in
                     set_cond found
                 | Instr.Mru q ->
                     let* queue = Operand.read_queue ops q in
-                    let by p = Sim_time.to_ns (Vm_page.last_access p) in
-                    let* found = complex_replace queue (Page_queue.find_max ~by) in
+                    let* found = complex_replace queue Page_queue.find_newest in
                     set_cond found
               end
             end
@@ -348,10 +362,10 @@ let run t container ~event =
   | Some pr -> Mx.profile_end pr ~sim_ns:(Sim_time.to_ns (Engine.now t.engine)));
   match result with
   | Value v ->
-      Container.set_execution_started container None;
+      Container.stop_execution container;
       Returned v
   | Err e ->
-      Container.set_execution_started container None;
+      Container.stop_execution container;
       Runtime_error (Printf.sprintf "%s: %s" (Events.name event) e)
   | Tout ->
       (* leave the timestamp in place: the security checker will find it *)

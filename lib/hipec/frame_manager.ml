@@ -433,7 +433,7 @@ let demote t container ~reason =
     Container.remove_frames container held;
     t.specific_total <- t.specific_total - held;
     Kernel.clear_manager t.kernel (Container.obj container);
-    Container.set_execution_started container None;
+    Container.stop_execution container;
     Container.set_degraded container ~reason ~at:(Kernel.now t.kernel);
     Option.iter (fun e -> Executor.forget e container) t.executor;
     t.stats.demotions <- t.stats.demotions + 1;
@@ -475,7 +475,7 @@ let reclaim_from_specific t ~need ~exclude =
         && Container.frames_held c > Container.min_frames c
         && Task.alive (Container.task c)
         (* never re-enter a policy that is executing right now *)
-        && Container.execution_started c = None)
+        && not (Container.executing c))
       t.containers
   in
   let rec walk = function
@@ -616,7 +616,7 @@ let emergency_seize t ~level =
   let target = Pageout.free_target daemon + Pageout.reserved daemon in
   let overage c = Container.frames_held c - Container.min_frames c in
   let victims =
-    List.filter (fun c -> overage c > 0 && Container.execution_started c = None)
+    List.filter (fun c -> overage c > 0 && not (Container.executing c))
       t.containers
     |> List.stable_sort (fun a b -> compare (overage b) (overage a))
   in

@@ -1,0 +1,95 @@
+(* Superinstruction planning over checker-accepted command blocks.
+
+   Planning is pure pattern recognition on the [Instr.t] array; the
+   compiled backend decides per group whether the operands resolve
+   cleanly enough to actually emit a fused closure.  Groups never
+   overlap and are reported head-first in program order.
+
+   The backend keeps every single-command closure in place and only
+   overwrites the *head* slot of each group, so a jump or skip landing
+   in the middle of a group executes the untouched singles — no
+   basic-block analysis is needed for control-flow safety. *)
+
+type group =
+  | Test_skip of { cc : int }
+      (* side-effect-free test at [cc] whose else-branch [Jump] sits at
+         [cc+1] (the checker's skip-next discipline guarantees the Jump) *)
+  | Arith_chain of { cc : int; len : int }
+      (* [len] >= 2 consecutive infallible Ariths (Div/Rem excluded) *)
+  | Deq_enq of { cc : int; with_set : bool }
+      (* DeQueue p; [Set p]; EnQueue p — the page-migration triple *)
+
+let head = function
+  | Test_skip { cc } | Arith_chain { cc; _ } | Deq_enq { cc; _ } -> cc
+
+let width = function
+  | Test_skip _ -> 2
+  | Arith_chain { len; _ } -> len
+  | Deq_enq { with_set; _ } -> if with_set then 3 else 2
+
+let name = function
+  | Test_skip _ -> "test_skip"
+  | Arith_chain _ -> "arith_chain"
+  | Deq_enq _ -> "deq_enq"
+
+(* Div/Rem can fault mid-chain (and carry their own error precedence),
+   so only infallible arithmetic is batched. *)
+let fusable_arith = function
+  | Opcode.Arith_op.Div | Opcode.Arith_op.Rem -> false
+  | Opcode.Arith_op.Add | Opcode.Arith_op.Sub | Opcode.Arith_op.Mul
+  | Opcode.Arith_op.Inc | Opcode.Arith_op.Dec ->
+      true
+
+let plan code =
+  let len = Array.length code in
+  let rec scan cc acc =
+    if cc >= len then List.rev acc
+    else
+      match code.(cc) with
+      | Instr.Dequeue (p, _, _) when cc + 1 < len -> (
+          match (code.(cc + 1), if cc + 2 < len then Some code.(cc + 2) else None) with
+          | Instr.Set (p', _, _), Some (Instr.Enqueue (p'', _, _))
+            when p' = p && p'' = p ->
+              scan (cc + 3) (Deq_enq { cc; with_set = true } :: acc)
+          | Instr.Enqueue (p', _, _), _ when p' = p ->
+              scan (cc + 2) (Deq_enq { cc; with_set = false } :: acc)
+          | _ -> scan (cc + 1) acc)
+      | Instr.Arith (_, _, op) when fusable_arith op ->
+          let j = ref (cc + 1) in
+          while
+            !j < len
+            && match code.(!j) with
+               | Instr.Arith (_, _, op) -> fusable_arith op
+               | _ -> false
+          do
+            incr j
+          done;
+          let k = !j - cc in
+          if k >= 2 then scan !j (Arith_chain { cc; len = k } :: acc)
+          else scan (cc + 1) acc
+      | (Instr.Comp _ | Instr.Emptyq _ | Instr.Ref _ | Instr.Mod _)
+        when cc + 1 < len -> (
+          match code.(cc + 1) with
+          | Instr.Jump _ -> scan (cc + 2) (Test_skip { cc } :: acc)
+          | _ -> scan (cc + 1) acc)
+      | _ -> scan (cc + 1) acc
+  in
+  scan 0 []
+
+let covered groups = List.fold_left (fun acc g -> acc + width g) 0 groups
+
+let stats groups =
+  let bump tbl k =
+    Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  let tbl = Hashtbl.create 4 in
+  List.iter (fun g -> bump tbl (name g)) groups;
+  List.filter_map
+    (fun k -> Option.map (fun n -> (k, n)) (Hashtbl.find_opt tbl k))
+    [ "test_skip"; "arith_chain"; "deq_enq" ]
+
+let pp fmt groups =
+  List.iter
+    (fun g ->
+      Format.fprintf fmt "  CC %d..%d  %s@." (head g) (head g + width g - 1) (name g))
+    groups

@@ -1,0 +1,49 @@
+(** Superinstruction planning for the compiled executor backend.
+
+    [plan] recognises short command patterns that the compiled backend
+    can execute as one fused closure with compile-time-resolved
+    operands, while charging exactly the simulated costs (fetch/queue)
+    of the constituent commands so trace digests stay bit-identical
+    with the interpreter:
+
+    - {b test_skip}: a side-effect-free test ([Comp]/[EmptyQ]/[Ref]/
+      [Mod]) plus its else-branch [Jump] — the pervasive if/else shape
+      the skip-next discipline produces;
+    - {b arith_chain}: two or more consecutive infallible [Arith]
+      commands ([Div]/[Rem] excluded — they can fault mid-chain);
+    - {b deq_enq}: [DeQueue p]; optional [Set p]; [EnQueue p] on the
+      same page register — the page-migration triple at the heart of
+      second-chance / sweep loops.
+
+    Groups never overlap.  The backend overwrites only each group's
+    {e head} closure and leaves all single-command closures in place,
+    so control transfers into the middle of a group (skip targets,
+    jumps) and mid-chain step-budget exhaustion fall back to exact
+    single-step execution. *)
+
+type group =
+  | Test_skip of { cc : int }
+  | Arith_chain of { cc : int; len : int }
+  | Deq_enq of { cc : int; with_set : bool }
+
+val plan : Instr.t array -> group list
+(** Non-overlapping fusable groups of one event's command block, in
+    program order. *)
+
+val head : group -> int
+(** First CC of the group (the only closure slot a backend replaces). *)
+
+val width : group -> int
+(** Number of constituent commands. *)
+
+val name : group -> string
+
+val fusable_arith : Opcode.Arith_op.t -> bool
+
+val covered : group list -> int
+(** Total commands inside fused groups. *)
+
+val stats : group list -> (string * int) list
+(** Group counts keyed by {!name}, stable order. *)
+
+val pp : Format.formatter -> group list -> unit

@@ -96,3 +96,27 @@ let optimize program =
        (Program.events program))
 
 let savings ~before ~after = (Program.total_commands before, Program.total_commands after)
+
+(* ------------------------------------------------------------------ *)
+(* Superinstruction planning (reporting layer).
+
+   The fusion pass itself lives in {!Hipec_core.Fusion} and is applied
+   by the compiled backend at install time — policies assembled by hand
+   (bypassing pseudoc) must fuse too, and the cost model the fused
+   closures must reproduce belongs to the core.  What the pseudoc
+   pipeline adds is visibility: the peepholes above (jump threading +
+   dead-code compaction) bring commands adjacent, so the fusion plan of
+   the *optimized* program is the honest account of what the compiled
+   backend will fuse, and `hipec translate` reports it alongside the
+   command-count savings. *)
+
+let fusion_plan program =
+  List.map
+    (fun event -> (event, Fusion.plan (Option.get (Program.code program ~event))))
+    (Program.events program)
+
+let fusion_report program =
+  let plans = fusion_plan program in
+  let groups = List.concat_map snd plans in
+  let covered = Fusion.covered groups in
+  (Fusion.stats groups, covered, Program.total_commands program)

@@ -24,3 +24,13 @@ val optimize : Program.t -> Program.t
 
 val savings : before:Program.t -> after:Program.t -> int * int
 (** [(commands_before, commands_after)]. *)
+
+val fusion_plan : Program.t -> (int * Fusion.group list) list
+(** Per event, the superinstruction groups ({!Hipec_core.Fusion}) the
+    compiled backend will fuse at install time.  Meaningful on the
+    {e optimized} program: the peepholes above bring commands adjacent
+    and so enlarge the plan. *)
+
+val fusion_report : Program.t -> (string * int) list * int * int
+(** [(group counts by pattern, commands covered, total commands)] —
+    the summary [hipec translate] prints. *)

@@ -1,3 +1,5 @@
+open Hipec_sim
+
 type node = { page : Vm_page.t; mutable prev : node option; mutable next : node option }
 
 type t = {
@@ -90,17 +92,86 @@ let fold f init t =
 
 let to_list t = List.rev (fold (fun acc p -> p :: acc) [] t)
 
+(* Direct node walks: one [by] call per element and no interim [Some]
+   allocations (the fold versions paid both, and these scans dominate
+   LRU/MRU complex-command cost).  Ties resolve to the page nearest the
+   head — replacement only on strict improvement — which victim
+   selection (and hence trace digests) depends on. *)
 let find_min ~by t =
-  fold
-    (fun best p ->
-      match best with Some b when by b <= by p -> best | _ -> Some p)
-    None t
+  match t.head with
+  | None -> None
+  | Some first ->
+      let best = ref first and best_key = ref (by first.page) in
+      let rec loop = function
+        | None -> ()
+        | Some node ->
+            let k = by node.page in
+            if k < !best_key then begin
+              best := node;
+              best_key := k
+            end;
+            loop node.next
+      in
+      loop first.next;
+      Some !best.page
 
 let find_max ~by t =
-  fold
-    (fun best p ->
-      match best with Some b when by b >= by p -> best | _ -> Some p)
-    None t
+  match t.head with
+  | None -> None
+  | Some first ->
+      let best = ref first and best_key = ref (by first.page) in
+      let rec loop = function
+        | None -> ()
+        | Some node ->
+            let k = by node.page in
+            if k > !best_key then begin
+              best := node;
+              best_key := k
+            end;
+            loop node.next
+      in
+      loop first.next;
+      Some !best.page
+
+(* Specialized last-access scans for the LRU/MRU complex commands: the
+   generic [find_min ~by] pays an un-inlinable closure call per node,
+   and these scans are the dominant cost of MRU-driven workloads.  Same
+   tie-break as above: first minimum / first maximum wins. *)
+let find_oldest t =
+  match t.head with
+  | None -> None
+  | Some first ->
+      let best = ref first and best_key = ref (Vm_page.last_access first.page) in
+      let rec loop = function
+        | None -> ()
+        | Some node ->
+            let k = Vm_page.last_access node.page in
+            if Sim_time.(k < !best_key) then begin
+              best := node;
+              best_key := k
+            end;
+            loop node.next
+      in
+      loop first.next;
+      Some !best.page
+
+let find_newest t =
+  match t.head with
+  | None -> None
+  | Some first ->
+      let best = ref first and best_key = ref (Vm_page.last_access first.page) in
+      let rec loop = function
+        | None -> ()
+        | Some node ->
+            let k = Vm_page.last_access node.page in
+            if Sim_time.(k > !best_key) then begin
+              best := node;
+              best_key := k
+            end;
+            loop node.next
+      in
+      loop first.next;
+      Some !best.page
 
 let check_invariants t =
   let ok = ref true in

@@ -44,8 +44,13 @@ val to_list : t -> Vm_page.t list
 
 val find_min : by:(Vm_page.t -> int) -> t -> Vm_page.t option
 val find_max : by:(Vm_page.t -> int) -> t -> Vm_page.t option
-(** Linear scans used by the LRU/MRU complex commands; ties resolve to
-    the page nearest the head. *)
+(** Generic linear scans; ties resolve to the page nearest the head. *)
+
+val find_oldest : t -> Vm_page.t option
+val find_newest : t -> Vm_page.t option
+(** [find_min]/[find_max] specialized to {!Vm_page.last_access} — the
+    LRU/MRU complex commands' victim scans, without the per-node
+    closure call.  Same tie-break: the page nearest the head wins. *)
 
 val check_invariants : t -> bool
 (** Links are consistent, the length matches, and every member's
