@@ -1,4 +1,4 @@
-.PHONY: all test bench examples clean quick-bench chaos oracle golden backend-bench metrics-bench storm storm-bench adversary adversary-bench ci
+.PHONY: all test bench examples clean quick-bench chaos oracle golden backend-bench metrics-bench storm storm-bench adversary adversary-bench lint ci
 
 all:
 	dune build @all
@@ -52,11 +52,23 @@ adversary:
 adversary-bench:
 	dune exec bench/main.exe -- adversary
 
+# the static analyzer over every built-in policy and every pseudo-code
+# example; exits nonzero on any error-severity finding
+lint:
+	for p in fifo lru mru clock second-chance adaptive greedy; do \
+	  echo "== builtin:$$p"; \
+	  dune exec bin/hipec_cli.exe -- lint --builtin $$p || exit 1; \
+	done
+	for f in examples/*.hp; do \
+	  echo "== $$f"; \
+	  dune exec bin/hipec_cli.exe -- lint $$f || exit 1; \
+	done
+
 # What CI runs: full build, the whole test suite (which includes the
-# oracle, golden, storm and adversary suites), the chaos and storm
-# acceptance checks at smoke scale, the adversary regression gate, and
-# the backend equivalence benches.
-ci: all test oracle golden chaos storm adversary backend-bench metrics-bench storm-bench adversary-bench
+# oracle, golden, storm and adversary suites), the policy lint gate,
+# the chaos and storm acceptance checks at smoke scale, the adversary
+# regression gate, and the backend equivalence benches.
+ci: all test lint oracle golden chaos storm adversary backend-bench metrics-bench storm-bench adversary-bench
 
 bench:
 	dune exec bench/main.exe

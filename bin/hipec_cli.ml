@@ -54,14 +54,28 @@ let translate_cmd =
         Printf.eprintf "translation failed: %s\n" e;
         1
     | Ok out ->
+        let program = out.Hipec_pseudoc.Codegen.program in
         print_string (Hipec_pseudoc.Translate.listing out);
         Printf.printf ";; %d commands across %d events; %d user operand slots\n"
-          (Program.total_commands out.Hipec_pseudoc.Codegen.program)
-          (List.length (Program.events out.Hipec_pseudoc.Codegen.program))
+          (Program.total_commands program)
+          (List.length (Program.events program))
           (List.length out.Hipec_pseudoc.Codegen.extra_operands);
+        (* install-time facts: the analysis sees the operand values the
+           source declared, exactly as an install through Api would *)
+        let analysis =
+          let ops = Operand.create () in
+          let _ =
+            Operand.install_std ops ~name:"translate" ~free_target:4 ~inactive_target:8
+              ~reserved_target:2
+          in
+          List.iter
+            (fun (ix, v) -> Operand.set ops ix v)
+            out.Hipec_pseudoc.Codegen.extra_operands;
+          Analysis.analyze ~ops program
+        in
         (* what the compiled backend will fuse into superinstructions *)
         let stats, covered, total =
-          Hipec_pseudoc.Optimizer.fusion_report out.Hipec_pseudoc.Codegen.program
+          Hipec_pseudoc.Optimizer.fusion_report ~analysis program
         in
         if covered > 0 then
           Printf.printf ";; compiled-backend fusion: %s — %d of %d commands covered\n"
@@ -69,6 +83,21 @@ let translate_cmd =
                (List.map (fun (n, c) -> Printf.sprintf "%d %s" c n) stats))
             covered total
         else Printf.printf ";; compiled-backend fusion: no fusable groups\n";
+        (* fusion groups only the analysis facts made possible *)
+        List.iter
+          (fun (event, cc, ivl) ->
+            let opname =
+              match Program.code program ~event with
+              | Some code -> (
+                  match code.(cc) with
+                  | Instr.Arith (_, _, Opcode.Arith_op.Rem) -> "Rem"
+                  | _ -> "Div")
+              | None -> "Div"
+            in
+            Printf.printf ";; analysis: %s CC %d %s fused: divisor ∈ %s\n"
+              (Events.name event) cc opname
+              (Analysis.Interval.to_string ivl))
+          (Hipec_pseudoc.Optimizer.div_fusions ~analysis program);
         0
   in
   Cmd.v
@@ -111,6 +140,159 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Run the security checker's static validation on a policy.")
     Term.(const run $ file)
+
+(* ------------------------------------------------------------------ *)
+(* lint: the abstract-interpretation rule set                          *)
+(* ------------------------------------------------------------------ *)
+
+let builtin_policy = function
+  | "fifo" -> Some (Policies.fifo (), [])
+  | "lru" -> Some (Policies.lru (), [])
+  | "mru" -> Some (Policies.mru (), [])
+  | "clock" -> Some (Policies.clock (), [])
+  | "second-chance" -> Some (Policies.fifo_second_chance (), [])
+  | "adaptive" -> Some (Policies.adaptive (), Policies.adaptive_operands ())
+  | "greedy" -> Some (Policies.greedy_request ~flavour:`Fifo ~chunk:4, [])
+  | "looping" -> Some (Policies.looping (), [])
+  | "returns-garbage" -> Some (Policies.returns_garbage (), [])
+  | _ -> None
+
+let builtin_names =
+  "fifo|lru|mru|clock|second-chance|adaptive|greedy|looping|returns-garbage"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let lint_cmd =
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Pseudo-code source.")
+  in
+  let builtin =
+    Arg.(value & opt (some string) None
+        & info [ "builtin" ] ~docv:"NAME"
+            ~doc:(Printf.sprintf "Lint a built-in policy (%s) instead of a file." builtin_names))
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let run file builtin json =
+    let source =
+      match (file, builtin) with
+      | Some _, Some _ -> Error "pass either FILE or --builtin, not both"
+      | None, None -> Error "pass a pseudo-code FILE or --builtin NAME"
+      | Some f, None ->
+          Result.map
+            (fun out ->
+              ( out.Hipec_pseudoc.Codegen.program,
+                out.Hipec_pseudoc.Codegen.extra_operands ))
+            (Hipec_pseudoc.Translate.translate (read_file f))
+      | None, Some name -> (
+          match builtin_policy name with
+          | Some p -> Ok p
+          | None -> Error (Printf.sprintf "unknown builtin %S (%s)" name builtin_names))
+    in
+    match source with
+    | Error e ->
+        Printf.eprintf "lint: %s\n" e;
+        2
+    | Ok (program, extras) -> (
+        let ops = Operand.create () in
+        let _ =
+          Operand.install_std ops ~name:"lint" ~free_target:4 ~inactive_target:8
+            ~reserved_target:2
+        in
+        List.iter (fun (ix, v) -> Operand.set ops ix v) extras;
+        (* the checker's hard validation gates the advisory rules: an
+           invalid program never installs, so linting it is moot *)
+        match Checker.validate program ops with
+        | Error e ->
+            if json then
+              Printf.printf "{\"accepted\": false, \"error\": \"%s\"}\n" (json_escape e)
+            else Printf.eprintf "security checker rejected: %s\n" e;
+            1
+        | Ok () ->
+            let analysis = Analysis.analyze ~ops program in
+            let findings = Analysis.findings analysis in
+            let fuels = Analysis.fuel_table analysis in
+            let traps = Analysis.possible_traps analysis in
+            let errors =
+              List.length
+                (List.filter (fun f -> f.Analysis.severity = Analysis.Error) findings)
+            in
+            if json then begin
+              let finding_json f =
+                Printf.sprintf
+                  "    {\"event\": \"%s\", \"cc\": %s, \"severity\": \"%s\", \"rule\": \
+                   \"%s\", \"message\": \"%s\"}"
+                  (json_escape (Events.name f.Analysis.event))
+                  (match f.Analysis.cc with Some cc -> string_of_int cc | None -> "null")
+                  (Analysis.severity_name f.Analysis.severity)
+                  (json_escape f.Analysis.rule)
+                  (json_escape f.Analysis.message)
+              in
+              let fuel_json (ev, fuel) =
+                Printf.sprintf "    {\"event\": \"%s\", \"fuel\": \"%s\"%s}"
+                  (json_escape (Events.name ev))
+                  (match fuel with
+                  | Analysis.Bounded _ -> "bounded"
+                  | Analysis.Terminates -> "terminates"
+                  | Analysis.Unbounded _ -> "unbounded")
+                  (match fuel with
+                  | Analysis.Bounded n -> Printf.sprintf ", \"commands\": %d" n
+                  | Analysis.Terminates -> ""
+                  | Analysis.Unbounded reason ->
+                      Printf.sprintf ", \"reason\": \"%s\"" (json_escape reason))
+              in
+              Printf.printf
+                "{\n\
+                 \  \"accepted\": true,\n\
+                 \  \"errors\": %d,\n\
+                 \  \"findings\": [\n%s\n  ],\n\
+                 \  \"fuel\": [\n%s\n  ],\n\
+                 \  \"possible_traps\": [%s]\n\
+                 }\n"
+                errors
+                (String.concat ",\n" (List.map finding_json findings))
+                (String.concat ",\n" (List.map fuel_json fuels))
+                (String.concat ", "
+                   (List.map
+                      (fun t -> Printf.sprintf "\"%s\"" (Analysis.trap_name t))
+                      traps))
+            end
+            else begin
+              List.iter
+                (fun f -> Format.printf "%a@." Analysis.pp_finding f)
+                findings;
+              List.iter
+                (fun (ev, fuel) ->
+                  Format.printf "fuel: %s: %a@." (Events.name ev) Analysis.pp_fuel fuel)
+                fuels;
+              (match traps with
+              | [] -> print_endline "runtime traps: none possible"
+              | ts ->
+                  Printf.printf "runtime traps possible: %s\n"
+                    (String.concat ", " (List.map Analysis.trap_name ts)));
+              Printf.printf "%d findings (%d errors)\n" (List.length findings) errors
+            end;
+            if errors > 0 then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the abstract-interpretation rule set on a policy: typestate and \
+          interval warnings, guaranteed non-termination, and static fuel bounds. \
+          Exits nonzero on error-severity findings.")
+    Term.(const run $ file $ builtin $ json)
 
 let assemble_cmd =
   let file =
@@ -1289,7 +1471,7 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [
-            translate_cmd; check_cmd; assemble_cmd; disassemble_cmd; advise_cmd; join_cmd;
+            translate_cmd; check_cmd; lint_cmd; assemble_cmd; disassemble_cmd; advise_cmd; join_cmd;
             aim_cmd; table3_cmd; table4_cmd; trace_cmd; stat_cmd; chaos_cmd; storm_cmd;
             adversary_cmd;
           ]))

@@ -79,9 +79,11 @@ let check_instr ops program ~len instr =
    to leave the event (Return) or branch away (Jump). *)
 let check_termination code =
   let len = Array.length code in
-  match code.(len - 1) with
-  | Instr.Return _ | Instr.Jump _ -> Ok ()
-  | _ -> Error "control can run past the last command"
+  if len = 0 then Error "empty event body"
+  else
+    match code.(len - 1) with
+    | Instr.Return _ | Instr.Jump _ -> Ok ()
+    | _ -> Error "control can run past the last command"
 
 (* Skip-next discipline: a test command that evaluates TRUE skips the
    following command, so that command must exist, must be the
@@ -155,26 +157,9 @@ module Lint = struct
       (match w.cc with Some cc -> Printf.sprintf " CC %d" cc | None -> "")
       w.message
 
-  (* Flow successors under skip-next semantics. *)
-  let successors code cc =
-    let len = Array.length code in
-    let keep = List.filter (fun t -> t >= 0 && t < len) in
-    match code.(cc) with
-    | Instr.Return _ -> []
-    | Instr.Jump target -> keep [ target ]
-    | instr when Opcode.is_test (Instr.opcode instr) -> keep [ cc + 1; cc + 2 ]
-    | _ -> keep [ cc + 1 ]
-
-  let reachable code =
-    let seen = Array.make (Array.length code) false in
-    let rec visit cc =
-      if not seen.(cc) then begin
-        seen.(cc) <- true;
-        List.iter visit (successors code cc)
-      end
-    in
-    if Array.length code > 0 then visit 0;
-    seen
+  (* Flow reachability under skip-next semantics (hosted on the
+     abstract-interpretation framework's shared CFG). *)
+  let reachable = Analysis.reachable
 
   let self_loops ~event code =
     let out = ref [] in
@@ -188,6 +173,20 @@ module Lint = struct
         | _ -> ())
       code;
     !out
+
+  (* Multi-command cycles made solely of unconditional Jumps: no test,
+     no Return — guaranteed non-termination once entered. *)
+  let jump_cycles ~event code =
+    List.map
+      (fun cycle ->
+        {
+          event;
+          cc = (match cycle with head :: _ -> Some head | [] -> None);
+          message =
+            Printf.sprintf "unconditional jump cycle through CC %s never terminates"
+              (String.concat ", " (List.map string_of_int cycle));
+        })
+      (Analysis.jump_only_cycles code)
 
   let unreachable ~event code =
     let seen = reachable code in
@@ -210,7 +209,9 @@ module Lint = struct
         (fun event ->
           match Program.code program ~event with
           | None -> []
-          | Some code -> self_loops ~event code @ unreachable ~event code)
+          | Some code ->
+              self_loops ~event code @ jump_cycles ~event code
+              @ unreachable ~event code)
         events
     in
     (* user events nothing activates *)

@@ -28,6 +28,12 @@ val validate : Program.t -> Operand.t -> (unit, string) result
     kinds.  This is what makes loading a hostile buffer safe: the
     executor only ever runs validated programs. *)
 
+val check_termination : Instr.t array -> (unit, string) result
+(** One [validate] ingredient, exposed for direct testing: the last
+    command must leave the event ([Return]) or branch away ([Jump]),
+    and — independently of check ordering — a zero-length body is an
+    error, never an out-of-bounds access. *)
+
 (** Advisory analyses beyond the paper's current checker (its §6 calls
     for "detecting malicious actions or mistakes"); none of these block
     loading, since a human-off policy may be deliberate. *)
@@ -44,11 +50,16 @@ module Lint : sig
       safety epilogue). *)
 
   val run : Program.t -> warning list
-  (** Currently detected: trivially infinite self-jumps, code
-      unreachable from an event's entry, user events no event ever
-      activates, and [Request] issued from inside [ReclaimFrame] (the
-      manager is reclaiming — asking it for more memory at best fails
-      and at worst thrashes). *)
+  (** Currently detected: trivially infinite self-jumps,
+      multi-command unconditional jump cycles (guaranteed
+      non-termination), code unreachable from an event's entry, user
+      events no event ever activates, and [Request] issued from inside
+      [ReclaimFrame] (the manager is reclaiming — asking it for more
+      memory at best fails and at worst thrashes).
+
+      These structural rules are hosted on the {!Analysis} CFG;
+      [hipec lint] runs the full abstract-interpretation rule set on
+      top of them. *)
 
   val pp_warning : Format.formatter -> warning -> unit
 end

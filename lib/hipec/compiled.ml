@@ -60,6 +60,13 @@ type 'a setter = S of ('a -> unit) | Serr of string
 let compile ~engine ~costs ~max_steps ~max_activation_depth ~services ~counter container =
   let ops = Container.operands container in
   let free_q = Container.free_queue container in
+  (* Install-time abstract interpretation: its divisor-excludes-zero
+     facts admit Div/Rem sites into fused arith chains.  Lazy so the
+     unfused flavor (and the differential tests' fusion_enabled=false
+     runs) never pays for the fixpoint. *)
+  let analysis =
+    lazy (Analysis.analyze ~ops (Container.program container))
+  in
   let fetch_cost = costs.Costs.hipec_fetch_decode in
   let queue_cost = costs.Costs.queue_op in
   let complex_cost = costs.Costs.hipec_complex_command in
@@ -587,25 +594,46 @@ let compile ~engine ~costs ~max_steps ~max_activation_depth ~services ~counter c
                                if bit page then taken rt else not_taken rt))
              | _ -> None)
          | Fusion.Arith_chain { cc; len = k } -> (
+             (* A chain is a sequence of infallible ops plus (when the
+                planner's [safe_div] facts admitted them) guarded Div/Rem
+                sites.  Infallible runs batch their charges; each guard
+                charges its own step and re-checks the divisor at run
+                time — the analysis fact enlarges the fused region, it
+                is never trusted for correctness. *)
              let resolve i =
                match code.(cc + i) with
                | Instr.Arith (a, b, op) -> (
                    match (cread_int a, cwrite_int a) with
                    | G geta, S seta -> (
                        match op with
-                       | Opcode.Arith_op.Inc -> Some (fun () -> seta (geta () + 1))
-                       | Dec -> Some (fun () -> seta (geta () - 1))
+                       | Opcode.Arith_op.Inc ->
+                           Some (`Plain (fun () -> seta (geta () + 1)))
+                       | Dec -> Some (`Plain (fun () -> seta (geta () - 1)))
                        | (Add | Sub | Mul) as op -> (
                            match cread_int b with
                            | Gerr _ -> None
                            | G getb ->
                                Some
-                                 (match op with
-                                 | Opcode.Arith_op.Add ->
-                                     fun () -> seta (geta () + getb ())
-                                 | Sub -> fun () -> seta (geta () - getb ())
-                                 | _ -> fun () -> seta (geta () * getb ())))
-                       | Div | Rem -> None)
+                                 (`Plain
+                                   (match op with
+                                   | Opcode.Arith_op.Add ->
+                                       fun () -> seta (geta () + getb ())
+                                   | Sub -> fun () -> seta (geta () - getb ())
+                                   | _ -> fun () -> seta (geta () * getb ()))))
+                       | (Div | Rem) as op -> (
+                           match cread_int b with
+                           | Gerr _ -> None
+                           | G getb ->
+                               let err, app =
+                                 match op with
+                                 | Opcode.Arith_op.Div ->
+                                     ( "division by zero",
+                                       fun d -> seta (geta () / d) )
+                                 | _ ->
+                                     ( "remainder by zero",
+                                       fun d -> seta (geta () mod d) )
+                               in
+                               Some (`Guard (getb, app, err))))
                    | _ -> None)
                | _ -> None
              in
@@ -618,30 +646,55 @@ let compile ~engine ~costs ~max_steps ~max_activation_depth ~services ~counter c
              in
              match gather 0 [] with
              | None | Some [] -> None
-             | Some (f :: rest) ->
-                 let act =
+             | Some items ->
+                 (* compress runs of infallible ops into batches *)
+                 let segs =
                    List.fold_left
-                     (fun acc g () ->
-                       acc ();
-                       g ())
-                     f rest
+                     (fun acc item ->
+                       match (item, acc) with
+                       | `Plain f, `Batch (n, act) :: rest ->
+                           `Batch
+                             ( n + 1,
+                               fun () ->
+                                 act ();
+                                 f () )
+                           :: rest
+                       | `Plain f, acc -> `Batch (1, f) :: acc
+                       | `Guard g, acc -> `Guard g :: acc)
+                     [] items
+                   |> List.rev
                  in
-                 let chain_fetch = Sim_time.ns (k * fetch_ns) in
                  let cont = goto (cc + k) in
+                 (* compose the segment closures back-to-front *)
+                 let rec build = function
+                   | [] -> cont
+                   | `Batch (n, act) :: rest ->
+                       let batch_fetch = Sim_time.ns (n * fetch_ns) in
+                       let tail = build rest in
+                       fun rt ->
+                         rt.steps <- rt.steps + n;
+                         counter := !counter + n;
+                         Container.count_commands container n;
+                         Engine.advance engine batch_fetch;
+                         act ();
+                         tail rt
+                   | `Guard (getb, app, errmsg) :: rest ->
+                       let tail = build rest in
+                       fun rt ->
+                         charge1 rt;
+                         let d = getb () in
+                         if d = 0 then Err errmsg
+                         else begin
+                           app d;
+                           tail rt
+                         end
+                 in
+                 let body = build segs in
                  (* budget boundary inside the chain: run the untouched
                     singles for exact per-step Tout semantics *)
                  let slow = table.(cc) in
                  Some
-                   (fun rt ->
-                     if rt.steps + k > max_steps then slow rt
-                     else begin
-                       rt.steps <- rt.steps + k;
-                       counter := !counter + k;
-                       Container.count_commands container k;
-                       Engine.advance engine chain_fetch;
-                       act ();
-                       cont rt
-                     end))
+                   (fun rt -> if rt.steps + k > max_steps then slow rt else body rt))
          | Fusion.Deq_enq { cc; with_set } -> (
              let rest = if with_set then 2 else 1 in
              let enq_cc = cc + rest in
@@ -727,7 +780,9 @@ let compile ~engine ~costs ~max_steps ~max_activation_depth ~services ~counter c
                table.(Fusion.head g) <- c;
                incr fused
            | None -> ())
-         (Fusion.plan code));
+         (Fusion.plan
+            ~safe_div:(fun cc -> Analysis.safe_div (Lazy.force analysis) ~event ~cc)
+            code));
     (goto 0, !fused)
   in
   let fused_total = ref 0 in

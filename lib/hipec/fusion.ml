@@ -33,14 +33,19 @@ let name = function
   | Deq_enq _ -> "deq_enq"
 
 (* Div/Rem can fault mid-chain (and carry their own error precedence),
-   so only infallible arithmetic is batched. *)
+   so by default only infallible arithmetic is batched.  The planner
+   accepts a [safe_div] predicate — the abstract interpreter's
+   divisor-excludes-zero facts — that admits specific Div/Rem sites
+   into chains; the compiled backend still guards them at run time, so
+   an unsound fact costs a wasted guard, never a wrong trace. *)
 let fusable_arith = function
   | Opcode.Arith_op.Div | Opcode.Arith_op.Rem -> false
   | Opcode.Arith_op.Add | Opcode.Arith_op.Sub | Opcode.Arith_op.Mul
   | Opcode.Arith_op.Inc | Opcode.Arith_op.Dec ->
       true
 
-let plan code =
+let plan ?(safe_div = fun _ -> false) code =
+  let fusable_at cc op = fusable_arith op || safe_div cc in
   let len = Array.length code in
   let rec scan cc acc =
     if cc >= len then List.rev acc
@@ -54,12 +59,12 @@ let plan code =
           | Instr.Enqueue (p', _, _), _ when p' = p ->
               scan (cc + 2) (Deq_enq { cc; with_set = false } :: acc)
           | _ -> scan (cc + 1) acc)
-      | Instr.Arith (_, _, op) when fusable_arith op ->
+      | Instr.Arith (_, _, op) when fusable_at cc op ->
           let j = ref (cc + 1) in
           while
             !j < len
             && match code.(!j) with
-               | Instr.Arith (_, _, op) -> fusable_arith op
+               | Instr.Arith (_, _, op) -> fusable_at !j op
                | _ -> false
           do
             incr j

@@ -10,7 +10,8 @@
       [Mod]) plus its else-branch [Jump] — the pervasive if/else shape
       the skip-next discipline produces;
     - {b arith_chain}: two or more consecutive infallible [Arith]
-      commands ([Div]/[Rem] excluded — they can fault mid-chain);
+      commands ([Div]/[Rem] excluded unless the [safe_div] predicate —
+      typically {!Analysis.safe_div} facts — admits the site);
     - {b deq_enq}: [DeQueue p]; optional [Set p]; [EnQueue p] on the
       same page register — the page-migration triple at the heart of
       second-chance / sweep loops.
@@ -26,9 +27,13 @@ type group =
   | Arith_chain of { cc : int; len : int }
   | Deq_enq of { cc : int; with_set : bool }
 
-val plan : Instr.t array -> group list
+val plan : ?safe_div:(int -> bool) -> Instr.t array -> group list
 (** Non-overlapping fusable groups of one event's command block, in
-    program order. *)
+    program order.  [safe_div cc] (default: always false) declares the
+    Div/Rem at [cc] to have a divisor interval excluding zero, letting
+    it join an arith chain; the compiled backend still emits a runtime
+    zero guard for such sites, so digests never depend on the fact
+    being right. *)
 
 val head : group -> int
 (** First CC of the group (the only closure slot a backend replaces). *)

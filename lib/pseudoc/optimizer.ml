@@ -60,6 +60,10 @@ let one_pass code =
   let code, threaded = thread_jumps code in
   let len = Array.length code in
   let reachable = Checker.Lint.reachable code in
+  (* Constant facts from the bare-code abstract interpreter (no operand
+     environment, so every fact holds whatever the install-time operand
+     values are).  Lazy: most passes never decide a branch. *)
+  let facts = lazy (Analysis.Code.analyze code) in
   let dead = Array.make len false in
   let changed = ref threaded in
   for cc = 0 to len - 1 do
@@ -72,6 +76,25 @@ let one_pass code =
       | Instr.Jump t when t = cc + 1 && not (is_else_branch code cc) ->
           dead.(cc) <- true;
           changed := true
+      | Instr.Comp _
+        when cc + 1 < len
+             && (not (is_else_branch code cc))
+             && (match code.(cc + 1) with Instr.Jump _ -> true | _ -> false) -> (
+          (* Dead-branch elimination.  A provably-true test always skips
+             its else-branch Jump: drop both (fallthrough now lands on
+             the skip target, and jump threading has already retargeted
+             any Jump aimed at the else branch).  A provably-false test
+             never skips: drop the test, leaving its else-branch Jump as
+             the unconditional continuation. *)
+          match Analysis.Code.comp_verdict (Lazy.force facts) cc with
+          | `Always_true ->
+              dead.(cc) <- true;
+              dead.(cc + 1) <- true;
+              changed := true
+          | `Always_false ->
+              dead.(cc) <- true;
+              changed := true
+          | `Unknown -> ())
       | _ -> ()
   done;
   if !changed then Some (compact code dead) else None
@@ -110,13 +133,45 @@ let savings ~before ~after = (Program.total_commands before, Program.total_comma
    backend will fuse, and `hipec translate` reports it alongside the
    command-count savings. *)
 
-let fusion_plan program =
+let fusion_plan ?analysis program =
+  let safe_div event =
+    match analysis with
+    | None -> fun _ -> false
+    | Some a -> fun cc -> Analysis.safe_div a ~event ~cc
+  in
   List.map
-    (fun event -> (event, Fusion.plan (Option.get (Program.code program ~event))))
+    (fun event ->
+      ( event,
+        Fusion.plan ~safe_div:(safe_div event)
+          (Option.get (Program.code program ~event)) ))
     (Program.events program)
 
-let fusion_report program =
-  let plans = fusion_plan program in
+let fusion_report ?analysis program =
+  let plans = fusion_plan ?analysis program in
   let groups = List.concat_map snd plans in
   let covered = Fusion.covered groups in
   (Fusion.stats groups, covered, Program.total_commands program)
+
+(* Div/Rem sites that analysis facts admitted into fused arith chains,
+   with the proven divisor interval — `hipec translate`'s "Div fused:
+   divisor ∈ [1,255]" lines. *)
+let div_fusions ~analysis program =
+  List.concat_map
+    (fun (event, groups) ->
+      let code = Option.get (Program.code program ~event) in
+      List.concat_map
+        (function
+          | Fusion.Arith_chain { cc; len } ->
+              List.filter_map
+                (fun i ->
+                  let cc = cc + i in
+                  match code.(cc) with
+                  | Instr.Arith (_, _, (Opcode.Arith_op.Div | Opcode.Arith_op.Rem)) ->
+                      Option.map
+                        (fun ivl -> (event, cc, ivl))
+                        (Analysis.div_interval analysis ~event ~cc)
+                  | _ -> None)
+                (List.init len Fun.id)
+          | _ -> [])
+        groups)
+    (fusion_plan ~analysis program)

@@ -9,7 +9,14 @@
       following command is dropped — unless it is the else-branch of a
       test (the skip-next discipline needs it);
     - {b dead-code elimination}: commands unreachable from CC 0 are
-      removed (and every jump target re-pointed).
+      removed (and every jump target re-pointed);
+    - {b dead-branch elimination}: a [Comp] the bare-code abstract
+      interpreter ({!Hipec_core.Analysis.Code}) proves always-true
+      drops together with its else-branch [Jump]; one proved
+      always-false drops alone, leaving the [Jump] as the
+      unconditional continuation.  Only facts independent of
+      install-time operand values are used, so the rewrite is sound
+      for every container the program could be installed into.
 
     Semantics are preserved exactly: the optimizer never touches the
     test/else-Jump pairing required by {!Hipec_core.Checker.validate}. *)
@@ -25,12 +32,19 @@ val optimize : Program.t -> Program.t
 val savings : before:Program.t -> after:Program.t -> int * int
 (** [(commands_before, commands_after)]. *)
 
-val fusion_plan : Program.t -> (int * Fusion.group list) list
+val fusion_plan : ?analysis:Analysis.t -> Program.t -> (int * Fusion.group list) list
 (** Per event, the superinstruction groups ({!Hipec_core.Fusion}) the
     compiled backend will fuse at install time.  Meaningful on the
     {e optimized} program: the peepholes above bring commands adjacent
-    and so enlarge the plan. *)
+    and so enlarge the plan.  With [?analysis] (an
+    {!Hipec_core.Analysis.analyze} result for this program), Div/Rem
+    sites whose divisor interval excludes zero join arith chains,
+    mirroring what the compiled backend fuses at install time. *)
 
-val fusion_report : Program.t -> (string * int) list * int * int
+val fusion_report : ?analysis:Analysis.t -> Program.t -> (string * int) list * int * int
 (** [(group counts by pattern, commands covered, total commands)] —
     the summary [hipec translate] prints. *)
+
+val div_fusions : analysis:Analysis.t -> Program.t -> (int * int * Analysis.Interval.t) list
+(** [(event, cc, divisor interval)] for each Div/Rem the analysis facts
+    admitted into a fused arith chain. *)

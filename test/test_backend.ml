@@ -96,6 +96,7 @@ let b2_slot = Std.first_user + 3
 let r_slot = Std.first_user + 4 (* Release count *)
 let uq_slot = Std.first_user + 5 (* a user-declared queue *)
 let up_slot = Std.first_user + 6 (* a second page register *)
+let d_slot = Std.first_user + 7 (* never-written divisor: analysis proves it nonzero *)
 let helper_event = 2
 
 (* Statically valid program snippets; parameters are small ints the
@@ -112,11 +113,16 @@ type tpl =
   | Release_on_queue of int * int (* src queue, dst queue *)
   | Find_mark of int * int (* bit action, bit which *)
   | Activate_helper
+  | Safe_div of int
+      (* Div/Rem by a never-written operand: install-time analysis
+         proves the divisor nonzero, so the compiled backend fuses it
+         into the surrounding arith chain — the digest must not move *)
 
 type desc = {
   x0 : int;
   y0 : int;
   r0 : int;
+  d0 : int; (* install-time divisor value, >= 1 *)
   b0 : bool;
   frames : int;
   npages : int;
@@ -158,6 +164,7 @@ let tpl_name = function
       Printf.sprintf "release-on:%s->%s" (queue_label (s mod 4)) (queue_label (d mod 4))
   | Find_mark (a, w) -> Printf.sprintf "find-mark:%d.%d" (a mod 2) (w mod 2)
   | Activate_helper -> "activate"
+  | Safe_div k -> Printf.sprintf "safe-div:%s" (if k mod 2 = 0 then "Div" else "Rem")
 
 let items_of_tpl n tpl =
   let open Program.Asm in
@@ -239,6 +246,13 @@ let items_of_tpl n tpl =
         Label (l "nf");
       ]
   | Activate_helper -> [ Op (Instr.Activate helper_event) ]
+  | Safe_div k ->
+      let op = if k mod 2 = 0 then Opcode.Arith_op.Div else Opcode.Arith_op.Rem in
+      [
+        Op (Instr.Arith (x_slot, x_slot, Opcode.Arith_op.Inc));
+        Op (Instr.Arith (x_slot, d_slot, op));
+        Op (Instr.Arith (y_slot, x_slot, Opcode.Arith_op.Add));
+      ]
 
 (* every handler ends with the harness tail: grab a free slot (evicting
    FIFO from the active queue if none) and return it *)
@@ -283,6 +297,7 @@ let spec_of desc policy =
         (r_slot, Operand.Int (ref desc.r0));
         (uq_slot, Operand.Queue (Page_queue.create "user-q"));
         (up_slot, Operand.Page (ref None));
+        (d_slot, Operand.Int (ref desc.d0));
       ];
   }
 
@@ -338,8 +353,8 @@ let contains ~sub s =
   n = 0 || go 0
 
 let print_desc d =
-  Printf.sprintf "frames=%d npages=%d x0=%d y0=%d r0=%d b0=%b accesses=%d [%s]" d.frames
-    d.npages d.x0 d.y0 d.r0 d.b0 (Array.length d.accesses)
+  Printf.sprintf "frames=%d npages=%d x0=%d y0=%d r0=%d d0=%d b0=%b accesses=%d [%s]"
+    d.frames d.npages d.x0 d.y0 d.r0 d.d0 d.b0 (Array.length d.accesses)
     (String.concat "; " (List.map tpl_name d.tpls))
 
 let desc_gen st =
@@ -347,7 +362,7 @@ let desc_gen st =
   let frames = 4 + int_bound 6 st in
   let npages = frames + 1 + int_bound 20 st in
   let tpl _ =
-    match int_bound 10 st with
+    match int_bound 11 st with
     | 0 -> Arith (int_bound 100 st)
     | 1 -> Branch (int_bound 100 st)
     | 2 -> Logic (int_bound 100 st)
@@ -358,6 +373,7 @@ let desc_gen st =
     | 7 -> Shuffle (int_bound 3 st, int_bound 3 st, int_bound 1 st)
     | 8 -> Release_on_queue (int_bound 3 st, int_bound 3 st)
     | 9 -> Find_mark (int_bound 1 st, int_bound 1 st)
+    | 10 -> Safe_div (int_bound 100 st)
     | _ -> Activate_helper
   in
   let count = 30 + int_bound 120 st in
@@ -365,6 +381,7 @@ let desc_gen st =
     x0 = int_bound 20 st - 10;
     y0 = int_bound 8 st;
     r0 = int_bound 2 st;
+    d0 = 1 + int_bound 8 st;
     b0 = bool st;
     frames;
     npages;
@@ -553,6 +570,18 @@ let test_plan_patterns () =
          Arith (1, 2, Opcode.Arith_op.Mul);
          Return 0;
        ]);
+  Alcotest.(check (list group_t))
+    "analysis-proven div joins the chain"
+    [ Fusion.Arith_chain { cc = 0; len = 4 } ]
+    (Fusion.plan
+       ~safe_div:(fun cc -> cc = 1)
+       [|
+         Arith (1, 2, Opcode.Arith_op.Add);
+         Arith (1, 2, Opcode.Arith_op.Div);
+         Arith (1, 2, Opcode.Arith_op.Sub);
+         Arith (1, 2, Opcode.Arith_op.Mul);
+         Return 0;
+       |]);
   Alcotest.(check (list group_t))
     "dequeue/set/enqueue on one page register fuses"
     [ Fusion.Deq_enq { cc = 0; with_set = true } ]
