@@ -1,4 +1,4 @@
-.PHONY: all test bench examples clean quick-bench chaos oracle golden backend-bench metrics-bench storm storm-bench adversary adversary-bench lint ci
+.PHONY: all test bench examples clean quick-bench chaos oracle golden backend-bench metrics-bench storm storm-bench adversary adversary-bench spans spans-bench lint ci
 
 all:
 	dune build @all
@@ -52,6 +52,18 @@ adversary:
 adversary-bench:
 	dune exec bench/main.exe -- adversary
 
+# critical-path span attribution on the storm and chaos scenarios;
+# exits nonzero when the two backends disagree on the span digest
+spans:
+	dune exec bin/hipec_cli.exe -- spans --scenario storm-smoke --json -o SPANS.json
+	dune exec bin/hipec_cli.exe -- spans --scenario chaos-smoke
+
+# online span-building overhead and stream-identity gates; rewrites
+# BENCH_8.json (spans off: event stream bit-identical; spans on:
+# < 10% of the whole-run wall)
+spans-bench:
+	dune exec bench/main.exe -- spans --quick
+
 # the static analyzer over every built-in policy and every pseudo-code
 # example; exits nonzero on any error-severity finding
 lint:
@@ -65,10 +77,11 @@ lint:
 	done
 
 # What CI runs: full build, the whole test suite (which includes the
-# oracle, golden, storm and adversary suites), the policy lint gate,
-# the chaos and storm acceptance checks at smoke scale, the adversary
-# regression gate, and the backend equivalence benches.
-ci: all test lint oracle golden chaos storm adversary backend-bench metrics-bench storm-bench adversary-bench
+# oracle, golden, storm, span and adversary suites), the policy lint
+# gate, the chaos and storm acceptance checks at smoke scale, the
+# adversary regression gate, the span cross-backend gate, and the
+# backend equivalence benches.
+ci: all test lint oracle golden chaos storm adversary spans backend-bench metrics-bench storm-bench adversary-bench spans-bench
 
 bench:
 	dune exec bench/main.exe

@@ -950,6 +950,13 @@ let storm_bench ~quick () =
             ""
             (if digest_stable then "STABLE" else "UNSTABLE")
             (if backend_match then "MATCH" else "MISMATCH");
+        Printf.printf "  %-8s %-10s slo: %d tracked, %d over budget, %d violations%s\n" ""
+          "" r1.Storm.slo_tracked r1.Storm.slo_over_budget r1.Storm.slo_violations
+          (match r1.Storm.slo_worst with
+          | [] -> ""
+          | o :: _ ->
+              Printf.sprintf "; worst t%04d (%s) burn %.2fx" o.Storm.o_index
+                (Storm.kind_name o.Storm.o_kind) o.Storm.o_burn);
         if not digest_stable then
           failwith
             (Printf.sprintf "storm digest unstable across runs at %d tenants"
@@ -960,6 +967,14 @@ let storm_bench ~quick () =
                config.Storm.tenants);
         (config, r1, baseline, isolation_ratio, digest_stable, backend_match, wall_ns))
       scales
+  in
+  let json_of_offender (o : Storm.offender) =
+    Printf.sprintf
+      "{ \"tenant\": %d, \"kind\": \"%s\", \"samples\": %d, \"violations\": %d, \
+       \"burn\": %.3f, \"worst_ns\": %d }"
+      o.Storm.o_index
+      (Storm.kind_name o.Storm.o_kind)
+      o.Storm.o_samples o.Storm.o_violations o.Storm.o_burn o.Storm.o_worst_ns
   in
   let path = "BENCH_5.json" in
   let oc = open_out path in
@@ -983,6 +998,9 @@ let storm_bench ~quick () =
             \      \"faults\": %d, \"faults_per_sec\": %.0f, \"wall_ns\": %.0f,\n\
             \      \"honest_p50_ns\": %d, \"honest_p99_ns\": %d, \"greedy_p99_ns\": %d,\n\
             \      \"baseline_honest_p99_ns\": %d, \"isolation_ratio\": %.3f,\n\
+            \      \"slo_ns\": %d, \"slo_budget\": %.3f, \"slo_tracked\": %d,\n\
+            \      \"slo_over_budget\": %d, \"slo_violations\": %d,\n\
+            \      \"slo_worst\": [%s],\n\
             \      \"throttles_entered\": %d, \"throttles_exited\": %d,\n\
             \      \"emergency_seizures\": %d, \"emergency_frames\": %d,\n\
             \      \"admissions_rejected\": %d, \"demotions\": %d,\n\
@@ -992,6 +1010,9 @@ let storm_bench ~quick () =
             config.Storm.tenants r.Storm.admitted r.Storm.shed r.Storm.honest_alive
             r.Storm.total_faults r.Storm.faults_per_sec wall_ns r.Storm.honest_p50_ns
             r.Storm.honest_p99_ns r.Storm.greedy_p99_ns b.Storm.honest_p99_ns ratio
+            r.Storm.slo_ns r.Storm.slo_budget r.Storm.slo_tracked r.Storm.slo_over_budget
+            r.Storm.slo_violations
+            (String.concat ", " (List.map json_of_offender r.Storm.slo_worst))
             r.Storm.throttles_entered r.Storm.throttles_exited r.Storm.emergency_seizures
             r.Storm.emergency_frames r.Storm.admissions_rejected r.Storm.demotions
             r.Storm.pressure_changes r.Storm.peak_level r.Storm.audit_violations
@@ -1082,6 +1103,144 @@ let adversary_bench ~quick () =
         o_ad.Adversary.o_best_gap
         (o_ad.Adversary.o_witness <> None));
   Printf.printf "\n  wrote %s\n\n" path
+
+(* ------------------------------------------------------------------ *)
+(* Spans: fault-lifecycle reconstruction overhead (BENCH_8.json)       *)
+(* ------------------------------------------------------------------ *)
+
+module Sp = Hipec_trace.Span
+
+(* Two gates on the span layer.  First, attaching the online span
+   builder must not perturb the simulation at all: the traced event
+   stream (digest and count) with the consumer attached must be
+   bit-identical to the stream without it.  Second, the wall-clock cost
+   of building spans online must stay under 10% of the trace-only run.
+   Repeats are interleaved so allocator/GC drift lands on both variants
+   alike, and each variant keeps its fastest repeat. *)
+let spans_bench ~quick () =
+  header "Spans: fault-lifecycle reconstruction overhead (BENCH_8.json)";
+  let repeats = if quick then 3 else 5 in
+  let scenarios = [ "policy"; "chaos-smoke"; "storm-smoke" ] in
+  Printf.printf "  %-12s %12s %12s %10s %8s  %s\n" "scenario" "trace (ms)" "+spans (ms)"
+    "overhead" "faults" "span digest";
+  let rows =
+    List.map
+      (fun name ->
+        let scenario =
+          match Trace_run.scenario_of_name name with
+          | Some s -> s
+          | None -> failwith ("unknown scenario " ^ name)
+        in
+        let once ~with_spans () =
+          let b = if with_spans then Some (Sp.create ()) else None in
+          let t0 = Unix.gettimeofday () in
+          let c = Tr.start ~store:false () in
+          (match b with Some b -> Tr.set_consumer (Some (Sp.feed b)) | None -> ());
+          let result = Trace_run.run_scenario scenario in
+          ignore (Tr.stop ());
+          let wall = (Unix.gettimeofday () -. t0) *. 1e9 in
+          (match result with Ok () -> () | Error e -> failwith (name ^ ": " ^ e));
+          (wall, Tr.digest_hex (Tr.digest c), Tr.events_seen c, b)
+        in
+        let best_off = ref None and best_on = ref None in
+        let keep r ((w, _, _, _) as m) =
+          match !r with Some (bw, _, _, _) when bw <= w -> () | _ -> r := Some m
+        in
+        for _ = 1 to repeats do
+          keep best_off (once ~with_spans:false ());
+          keep best_on (once ~with_spans:true ())
+        done;
+        let w_off, d_off, ev_off, _ = Option.get !best_off in
+        let w_on, d_on, ev_on, b = Option.get !best_on in
+        let b = Option.get b in
+        let span_digest = Sp.digest b in
+        (* the cross-backend witness: same spans, bit for bit *)
+        let _, _, _, bc =
+          with_backend Executor.Compiled (fun () -> once ~with_spans:true ())
+        in
+        let backend_match = Int64.equal span_digest (Sp.digest (Option.get bc)) in
+        let overhead = if w_off > 0. then (w_on -. w_off) /. w_off *. 100. else 0. in
+        let agg = Sp.Agg.compute (Sp.spans b) in
+        Printf.printf "  %-12s %12.2f %12.2f %9.2f%% %8d  %016Lx %s\n" name
+          (w_off /. 1e6) (w_on /. 1e6) overhead (Sp.fault_count b) span_digest
+          (if backend_match then "MATCH" else "MISMATCH");
+        (name, w_off, w_on, overhead, d_off = d_on && ev_off = ev_on, backend_match,
+         span_digest, agg, Sp.fault_count b))
+      scenarios
+  in
+  let sum f = List.fold_left (fun acc r -> acc +. f r) 0. rows in
+  let total_off = sum (fun (_, w, _, _, _, _, _, _, _) -> w) in
+  let total_on = sum (fun (_, _, w, _, _, _, _, _, _) -> w) in
+  let total_overhead =
+    if total_off > 0. then (total_on -. total_off) /. total_off *. 100. else 0.
+  in
+  let path = "BENCH_8.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"bench\": \"spans\",\n  \"quick\": %b,\n  \"scenarios\": [\n"
+        quick;
+      List.iteri
+        (fun i (name, w_off, w_on, overhead, stream_identical, backend_match, sd, agg, faults) ->
+          let seg_rows =
+            String.concat ",\n"
+              (List.map
+                 (fun (r : Sp.Agg.row) ->
+                   Printf.sprintf
+                     "        { \"kind\": \"%s\", \"total_ns\": %d, \"faults\": %d, \
+                      \"p50_ns\": %d, \"p90_ns\": %d, \"p99_ns\": %d }"
+                     (Sp.segment_kind_name r.Sp.Agg.kind)
+                     r.Sp.Agg.total_ns r.Sp.Agg.faults_touched r.Sp.Agg.p50_ns
+                     r.Sp.Agg.p90_ns r.Sp.Agg.p99_ns)
+                 agg.Sp.Agg.rows)
+          in
+          Printf.fprintf oc
+            "    { \"name\": \"%s\", \"faults\": %d,\n\
+            \      \"wall_trace_only_ns\": %.0f, \"wall_with_spans_ns\": %.0f,\n\
+            \      \"overhead_percent\": %.3f,\n\
+            \      \"stream_identical\": %b, \"span_digest\": \"%016Lx\", \
+             \"backend_match\": %b,\n\
+            \      \"total_latency_ns\": %d, \"lat_p99_ns\": %d,\n\
+            \      \"segments\": [\n%s\n      ] }%s\n"
+            name faults w_off w_on overhead stream_identical sd backend_match
+            agg.Sp.Agg.total_latency_ns agg.Sp.Agg.lat_p99_ns seg_rows
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc
+        "  ],\n\
+        \  \"whole_run_trace_only_ns\": %.0f, \"whole_run_with_spans_ns\": %.0f,\n\
+        \  \"whole_run_overhead_percent\": %.3f\n}\n"
+        total_off total_on total_overhead);
+  Printf.printf "\n  wrote %s\n" path;
+  (* The regression gate CI fails with.  Stream identity and backend
+     agreement are per scenario; the 10% wall bound is over the whole
+     run (all scenarios) — the policy micro-scenario is nearly pure
+     event emission with almost no simulated work behind it, so any
+     proportional per-event cost is a large share of its tiny wall. *)
+  let failures = ref [] in
+  List.iter
+    (fun (name, _, _, _, stream_identical, backend_match, _, _, _) ->
+      if not stream_identical then
+        failures :=
+          Printf.sprintf "%s: span consumer perturbed the traced event stream" name
+          :: !failures;
+      if not backend_match then
+        failures :=
+          Printf.sprintf "%s: span digests diverged across backends" name :: !failures)
+    rows;
+  Printf.printf "  whole-run overhead: %.2f%% (%.2f ms -> %.2f ms)\n" total_overhead
+    (total_off /. 1e6) (total_on /. 1e6);
+  if total_overhead >= 10.0 then
+    failures :=
+      Printf.sprintf "online span building costs %.2f%% >= 10%% of the whole run"
+        total_overhead
+      :: !failures;
+  (match !failures with
+  | [] -> Printf.printf "  regression gate: PASS\n\n"
+  | fs ->
+      List.iter (fun f -> Printf.printf "  regression gate: FAIL %s\n" f) fs;
+      failwith "spans bench regression gate failed")
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel: wall-clock micro-benchmarks of this implementation        *)
@@ -1181,6 +1340,7 @@ let all_benches =
     ("chaos", chaos);
     ("storm", storm_bench);
     ("adversary", adversary_bench);
+    ("spans", spans_bench);
     ("backend", backend_bench);
     ("metrics", metrics_bench);
     ("bechamel", bechamel);

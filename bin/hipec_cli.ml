@@ -524,6 +524,7 @@ let table4_cmd =
 (* ------------------------------------------------------------------ *)
 
 module Tr = Hipec_trace.Trace
+module Sp = Hipec_trace.Span
 
 let trace_run_cmd =
   let pattern =
@@ -916,7 +917,16 @@ let stat_cmd =
         & info [ "tick" ] ~docv:"MS"
             ~doc:"Time-series sampling tick in simulated milliseconds.")
   in
-  let run scenario backends json prom watch tick =
+  let spans_flag =
+    Arg.(value & flag
+        & info [ "spans" ]
+            ~doc:
+              "Also reconstruct fault-lifecycle spans during each run (installs the \
+               trace sink alongside the metrics registry) and print the critical-path \
+               attribution table.  With $(b,both) backends the span digests must \
+               agree; a mismatch exits nonzero.")
+  in
+  let run scenario backends json prom watch tick with_spans =
     match scenario with
     | Error e ->
         Printf.eprintf "%s\n" e;
@@ -932,6 +942,7 @@ let stat_cmd =
              stay separate (keyed by backend). *)
           let saved = Executor.default_backend () in
           let reg = Mx.install ~tick_ns:(tick * 1_000_000) () in
+          let span_builders = ref [] in
           let outcome =
             Fun.protect
               ~finally:(fun () ->
@@ -944,7 +955,19 @@ let stat_cmd =
                     | Error _ as e -> e
                     | Ok () ->
                         Executor.set_default_backend b;
-                        Trace_run.run_scenario scenario)
+                        if with_spans then begin
+                          let sb = Sp.create () in
+                          let _collector = Tr.start () in
+                          Tr.set_consumer (Some (Sp.feed sb));
+                          let r =
+                            Fun.protect
+                              ~finally:(fun () -> ignore (Tr.stop ()))
+                              (fun () -> Trace_run.run_scenario scenario)
+                          in
+                          span_builders := (b, sb) :: !span_builders;
+                          r
+                        end
+                        else Trace_run.run_scenario scenario)
                   (Ok ()) backends)
           in
           match outcome with
@@ -954,9 +977,15 @@ let stat_cmd =
           | Ok () ->
               let agree = sim_totals_agree reg backends in
               let fuel_agree = fuel_totals_agree reg backends in
+              let span_rows = List.rev !span_builders in
+              let spans_agree =
+                match span_rows with
+                | [ (_, a); (_, b) ] -> Some (Int64.equal (Sp.digest a) (Sp.digest b))
+                | _ -> None
+              in
               if json then
                 Printf.printf
-                  "{\"scenario\":%S,\"sim_totals_equal\":%s,\"fuel_totals_equal\":%s,\"metrics\":%s}\n"
+                  "{\"scenario\":%S,\"sim_totals_equal\":%s,\"fuel_totals_equal\":%s,\"span_digests_equal\":%s,%s\"metrics\":%s}\n"
                   (scenario_name scenario)
                   (match agree with
                   | Some b -> string_of_bool b
@@ -964,11 +993,26 @@ let stat_cmd =
                   (match fuel_agree with
                   | Some b -> string_of_bool b
                   | None -> "null")
+                  (match spans_agree with
+                  | Some b -> string_of_bool b
+                  | None -> "null")
+                  (match span_rows with
+                  | (_, sb) :: _ ->
+                      Printf.sprintf "\"spans\":%s,"
+                        (String.trim (Sp.to_json ~include_spans:false sb))
+                  | [] -> "")
                   (Mx.Registry.to_json ~opcode_name:opcode_label reg)
               else if prom then print_string (Mx.Registry.to_prom ~opcode_name:opcode_label reg)
               else begin
                 Printf.printf "scenario %s\n\n" (scenario_name scenario);
                 print_stat_tables reg backends;
+                (match span_rows with
+                | (b0, sb) :: _ ->
+                    Printf.printf "\nspan attribution (%s backend, digest %s)\n"
+                      (Executor.backend_name b0)
+                      (Tr.digest_hex (Sp.digest sb));
+                    Format.printf "%a@." Sp.Agg.pp (Sp.Agg.compute (Sp.spans sb))
+                | [] -> ());
                 (match agree with
                 | Some true ->
                     print_endline "\nper-opcode simulated totals: backends agree"
@@ -979,15 +1023,22 @@ let stat_cmd =
                 | Some true -> print_endline "fuel attribution: backends agree"
                 | Some false -> print_endline "fuel attribution: BACKEND MISMATCH"
                 | None -> ());
+                (match spans_agree with
+                | Some true -> print_endline "span digests: backends agree"
+                | Some false -> print_endline "span digests: BACKEND MISMATCH"
+                | None -> ());
                 if watch then print_stat_watch reg
               end;
-              (match (agree, fuel_agree) with
-              | Some false, _ ->
+              (match (agree, fuel_agree, spans_agree) with
+              | Some false, _, _ ->
                   Printf.eprintf
                     "interp and compiled disagree on per-opcode simulated cycles\n";
                   1
-              | _, Some false ->
+              | _, Some false, _ ->
                   Printf.eprintf "interp and compiled disagree on fuel attribution\n";
+                  1
+              | _, _, Some false ->
+                  Printf.eprintf "interp and compiled disagree on span digests\n";
                   1
               | _ -> 0)
         end
@@ -998,7 +1049,121 @@ let stat_cmd =
          "Run a scenario under the metrics registry and print the snapshot: counters, \
           gauges, latency histogram percentiles, sim-tick time series and the \
           per-opcode executor profile for each backend.")
-    Term.(const run $ scenario_args $ backends $ json $ prom $ watch $ tick)
+    Term.(const run $ scenario_args $ backends $ json $ prom $ watch $ tick $ spans_flag)
+
+(* ------------------------------------------------------------------ *)
+(* spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let spans_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the span summary as JSON.")
+  in
+  let perfetto =
+    Arg.(value & flag
+        & info [ "perfetto" ]
+            ~doc:
+              "Emit Chrome/Perfetto trace_event JSON of the span tree (fault > phase \
+               > segment) instead of the attribution table.")
+  in
+  let tenant =
+    Arg.(value & opt (some int) None
+        & info [ "tenant" ] ~docv:"N"
+            ~doc:
+              "Restrict the table, span listing and exports to the normalized task \
+               id N (the trace's dense first-seen order).")
+  in
+  let file =
+    Arg.(value & opt (some file) None
+        & info [ "file" ] ~docv:"FILE"
+            ~doc:
+              "Build spans offline from a recorded .trace instead of running a \
+               scenario (skips the cross-backend check).")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+        & info [ "o"; "output" ] ~docv:"FILE"
+            ~doc:"Write the export there instead of stdout.")
+  in
+  let show =
+    Arg.(value & flag
+        & info [ "show-spans" ] ~doc:"Also print each fault's phase breakdown.")
+  in
+  let run scenario json perfetto tenant file output show =
+    let emit s = match output with None -> print_string s | Some p -> write_file p s in
+    let filter b =
+      let sps = Sp.spans b in
+      match tenant with
+      | None -> sps
+      | Some t ->
+          Array.of_seq (Seq.filter (fun sp -> sp.Sp.task = t) (Array.to_seq sps))
+    in
+    let render ~label b =
+      let sel = filter b in
+      if perfetto then emit (Sp.to_perfetto sel)
+      else if json then emit (Sp.to_json ?only_task:tenant b)
+      else begin
+        Printf.printf "%s: %d faults (%d kills), span digest %s\n" label
+          (Sp.fault_count b) (Sp.kills b)
+          (Tr.digest_hex (Sp.digest b));
+        (match tenant with
+        | Some t ->
+            Printf.printf "tenant (task %d): %d of %d faults\n" t (Array.length sel)
+              (Sp.fault_count b)
+        | None -> ());
+        Format.printf "%a@." Sp.Agg.pp (Sp.Agg.compute sel);
+        if show then Array.iter (fun sp -> Format.printf "%a@." Sp.pp_span sp) sel
+      end
+    in
+    match (scenario, file) with
+    | Error e, _ ->
+        Printf.eprintf "%s\n" e;
+        2
+    | Ok _, Some path -> (
+        match load_recorded path with
+        | None -> 1
+        | Some r ->
+            render ~label:path (Sp.of_events r.Tr.Recorded.events);
+            0)
+    | Ok scenario, None -> (
+        (* run the scenario on both backends: the span digests must be
+           bit-identical, exactly as the trace digests are *)
+        let build backend =
+          let saved = Executor.default_backend () in
+          Executor.set_default_backend backend;
+          Fun.protect
+            ~finally:(fun () -> Executor.set_default_backend saved)
+            (fun () ->
+              Result.map
+                (fun r -> Sp.of_events r.Tr.Recorded.events)
+                (Trace_run.record scenario))
+        in
+        match (build Executor.Interp, build Executor.Compiled) with
+        | Error e, _ | _, Error e ->
+            Printf.eprintf "scenario failed: %s\n" e;
+            1
+        | Ok bi, Ok bc ->
+            if not (Int64.equal (Sp.digest bi) (Sp.digest bc)) then begin
+              Printf.eprintf
+                "span digests diverge across backends: interp %s, compiled %s\n"
+                (Tr.digest_hex (Sp.digest bi))
+                (Tr.digest_hex (Sp.digest bc));
+              1
+            end
+            else begin
+              render ~label:(scenario_name scenario) bi;
+              0
+            end)
+  in
+  Cmd.v
+    (Cmd.info "spans"
+       ~doc:
+         "Reconstruct causal fault-lifecycle spans for a scenario (or a recorded \
+          .trace) and print the critical-path attribution table: per-segment totals, \
+          p50/p90/p99, and where the p99 tail's latency went.  Scenario runs execute \
+          on both backends and exit nonzero if the span digests diverge.")
+    Term.(
+      const run $ scenario_args $ json $ perfetto $ tenant $ file $ output $ show)
 
 (* ------------------------------------------------------------------ *)
 (* chaos                                                               *)
@@ -1472,6 +1637,6 @@ let () =
        (Cmd.group ~default info
           [
             translate_cmd; check_cmd; lint_cmd; assemble_cmd; disassemble_cmd; advise_cmd; join_cmd;
-            aim_cmd; table3_cmd; table4_cmd; trace_cmd; stat_cmd; chaos_cmd; storm_cmd;
-            adversary_cmd;
+            aim_cmd; table3_cmd; table4_cmd; trace_cmd; stat_cmd; spans_cmd; chaos_cmd;
+            storm_cmd; adversary_cmd;
           ]))

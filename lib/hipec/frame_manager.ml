@@ -356,6 +356,8 @@ let run_event_raw t container ~event =
     let before = Container.commands_interpreted container in
     let outcome = Executor.run (executor t) container ~event in
     let delta = Container.commands_interpreted container - before in
+    (* Policy_run lands at the instant the executor's sim-time charge
+       closes: Span attributes the interval ending here as [Policy] *)
     if Tr.on () then
       Tr.policy_run ~container:(Container.id container) ~event
         ~outcome:

@@ -217,6 +217,8 @@ let rec start t req =
                if req.is_write then t.writes <- t.writes + 1
                else t.reads <- t.reads + 1
            | Error _ -> ());
+           (* an async write's Disk_io lands at completion: Span reads
+              an interval ending at one as [Laundry_wait] *)
            Hipec_trace.Trace.disk_io ~block:req.block ~nblocks:req.nblocks
              ~write:req.is_write ~ok:(Result.is_ok result);
            req.on_complete engine result;
@@ -258,6 +260,8 @@ let sync_transfer t ~is_write ~block ~nblocks =
         let d = Sim_time.add d (spike_delay t) in
         (d, fault_outcome t ~is_write ~block ~nblocks)
   in
+  (* a sync transfer's Disk_io precedes the caller charging [d]: Span
+     attributes the interval starting at a read as [Disk_read] *)
   Hipec_trace.Trace.disk_io ~block ~nblocks ~write:is_write ~ok:(Result.is_ok result);
   if Hipec_metrics.Metrics.on () then
     Hipec_metrics.Metrics.observe "machine.disk.transfer_ns" (Sim_time.to_ns d);

@@ -493,21 +493,58 @@ module Registry = struct
       name;
     Buffer.contents b
 
-  (* Prometheus text exposition (v0.0.4).  Histograms emit cumulative
-     [le] buckets over the log-2 edges actually populated, plus the
-     conventional _sum/_count pair. *)
+  (* Label values in the exposition format live inside double quotes
+     and escape exactly backslash, double-quote and newline. *)
+  let prom_label_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  (* HELP text escapes only backslash and newline (no quoting). *)
+  let prom_help_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  (* Prometheus text exposition (v0.0.4).  Every family gets its
+     # HELP/# TYPE header, with all its samples grouped under it.
+     Histograms emit cumulative [le] buckets over the log-2 edges
+     actually populated, plus the conventional _sum/_count pair. *)
   let to_prom ?(opcode_name = default_opcode_name) t =
     let b = Buffer.create 4096 in
+    let header pname ~help ~kind =
+      Buffer.add_string b
+        (Printf.sprintf "# HELP %s %s\n# TYPE %s %s\n" pname (prom_help_escape help)
+           pname kind)
+    in
     fold_sorted t
       (fun () name m ->
         let pname = prom_name name in
         match m with
         | Counter r ->
-            Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" pname pname !r)
+            header pname ~help:(Printf.sprintf "Cumulative count of %s." name)
+              ~kind:"counter";
+            Buffer.add_string b (Printf.sprintf "%s %d\n" pname !r)
         | Gauge r ->
-            Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n%s %d\n" pname pname !r)
+            header pname ~help:(Printf.sprintf "Current value of %s." name) ~kind:"gauge";
+            Buffer.add_string b (Printf.sprintf "%s %d\n" pname !r)
         | Hist h ->
-            Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" pname);
+            header pname
+              ~help:(Printf.sprintf "Distribution of %s (log-2 buckets)." name)
+              ~kind:"histogram";
             let counts = Stats.Histogram.bucket_counts h in
             let cum = ref (Stats.Histogram.underflow h) in
             Array.iteri
@@ -530,27 +567,40 @@ module Registry = struct
             | 0 -> ()
             | n ->
                 let _, last = pts.(n - 1) in
-                Buffer.add_string b
-                  (Printf.sprintf "# TYPE %s gauge\n%s %d\n" pname pname last)))
+                header pname
+                  ~help:(Printf.sprintf "Most recent sample of %s." name)
+                  ~kind:"gauge";
+                Buffer.add_string b (Printf.sprintf "%s %d\n" pname last)))
       ();
-    List.iter
-      (fun p ->
-        let labels op =
-          Printf.sprintf "{backend=\"%s\",container=\"%d\",op=\"%s\"}" p.Profile.backend
-            p.Profile.container (opcode_name op)
-        in
-        Array.iteri
-          (fun i (c : Profile.cell) ->
-            if c.Profile.count > 0 then begin
-              Buffer.add_string b
-                (Printf.sprintf "hipec_opcode_commands_total%s %d\n" (labels i) c.Profile.count);
-              Buffer.add_string b
-                (Printf.sprintf "hipec_opcode_sim_ns_total%s %d\n" (labels i) c.Profile.sim_ns);
-              Buffer.add_string b
-                (Printf.sprintf "hipec_opcode_wall_ns_total%s %d\n" (labels i) c.Profile.wall_ns)
-            end)
-          p.Profile.cells)
-      (profiles t);
+    (* the per-opcode profile: one family per measure, every profile's
+       cells grouped under it so samples stay contiguous per family *)
+    let profile_family suffix help value =
+      match profiles t with
+      | [] -> ()
+      | ps ->
+          let fname = "hipec_opcode_" ^ suffix in
+          header fname ~help ~kind:"counter";
+          List.iter
+            (fun p ->
+              Array.iteri
+                (fun i (c : Profile.cell) ->
+                  if c.Profile.count > 0 then
+                    Buffer.add_string b
+                      (Printf.sprintf "%s{backend=\"%s\",container=\"%d\",op=\"%s\"} %d\n"
+                         fname
+                         (prom_label_escape p.Profile.backend)
+                         p.Profile.container
+                         (prom_label_escape (opcode_name i))
+                         (value c)))
+                p.Profile.cells)
+            ps
+    in
+    profile_family "commands_total" "Commands executed per opcode."
+      (fun c -> c.Profile.count);
+    profile_family "sim_ns_total" "Simulated nanoseconds attributed per opcode."
+      (fun c -> c.Profile.sim_ns);
+    profile_family "wall_ns_total" "Wall-clock nanoseconds attributed per opcode."
+      (fun c -> c.Profile.wall_ns);
     Buffer.contents b
 end
 

@@ -9,6 +9,39 @@ module Counter = struct
   let reset t = t.value <- 0
 end
 
+module Percentile = struct
+  (* The one shared nearest-rank core.  Every percentile in the tree —
+     [Summary.percentile], [Storm.percentile], the test references —
+     goes through here: sort a copy with polymorphic [compare], clamp
+     the caller's rank convention into [0, n-1], index.  The two public
+     entry points only differ in how they turn [p] into a rank. *)
+  let nearest_rank samples ~rank_of =
+    match Array.length samples with
+    | 0 -> None
+    | n ->
+        let s = Array.copy samples in
+        Array.sort compare s;
+        Some s.(Stdlib.max 0 (Stdlib.min (n - 1) (rank_of n)))
+
+  (* [p] in [0, 100]: rank = ceil(p/100 * n), 1-based, clamped. *)
+  let exact samples p =
+    match
+      nearest_rank samples ~rank_of:(fun n ->
+          int_of_float (ceil (p /. 100. *. float_of_int n)) - 1)
+    with
+    | Some v -> v
+    | None -> 0.
+
+  (* [p] in [0, 1] over int samples: index = round(p * (n-1)). *)
+  let of_ints samples p =
+    match
+      nearest_rank samples ~rank_of:(fun n ->
+          int_of_float ((p *. float_of_int (n - 1)) +. 0.5))
+    with
+    | Some v -> v
+    | None -> 0
+end
+
 module Summary = struct
   type t = {
     name : string;
@@ -53,17 +86,9 @@ module Summary = struct
     t.max <- neg_infinity
 
   (* Exact nearest-rank percentile over a sample array: the oracle the
-     bucketed Histogram estimate is tested against. *)
-  let percentile samples p =
-    let n = Array.length samples in
-    if n = 0 then 0.
-    else begin
-      let s = Array.copy samples in
-      Array.sort compare s;
-      let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
-      let rank = Stdlib.max 1 (Stdlib.min n rank) in
-      s.(rank - 1)
-    end
+     bucketed Histogram estimate is tested against.  Shares the sorted
+     nearest-rank core in [Percentile]. *)
+  let percentile = Percentile.exact
 
   let pp fmt t =
     Format.fprintf fmt "%s: n=%d mean=%.3f min=%.3f max=%.3f sd=%.3f" t.name t.count

@@ -1,5 +1,23 @@
 (** Lightweight measurement accumulators for experiments. *)
 
+(** The shared nearest-rank percentile core.  Both rank conventions in
+    the tree ({!Summary.percentile}'s 1-based ceil rank and the storm
+    suite's rounded index) are thin wrappers over {!nearest_rank}, so
+    their sort-and-index behavior cannot drift apart. *)
+module Percentile : sig
+  val nearest_rank : 'a array -> rank_of:(int -> int) -> 'a option
+  (** Sort a copy with polymorphic [compare] and return the element at
+      index [rank_of n] clamped into [\[0, n-1\]]; [None] when empty. *)
+
+  val exact : float array -> float -> float
+  (** [p] in [0, 100]; rank = ceil(p/100 * n) clamped to [\[1, n\]],
+      1-based.  0 when empty.  The {!Summary.percentile} semantics. *)
+
+  val of_ints : int array -> float -> int
+  (** [p] in [0, 1]; index = round(p * (n-1)).  0 when empty.  The
+      storm suite's semantics. *)
+end
+
 (** Monotonic named counters. *)
 module Counter : sig
   type t

@@ -18,6 +18,10 @@ type collector = {
   mutable clock : unit -> Sim_time.t;
   norm : (int * int, int) Hashtbl.t;
   next_norm : int array;
+  (* online span building and other live consumers hang here; [None]
+     costs one match per push and nothing at all while no collector is
+     installed *)
+  mutable consumer : (Event.t -> unit) option;
 }
 
 let current : collector option ref = ref None
@@ -39,6 +43,7 @@ let start ?(ring = 512) ?(store = false) ?clock () =
       clock = Option.value clock ~default:(fun () -> Sim_time.zero);
       norm = Hashtbl.create 64;
       next_norm = Array.make 3 0;
+      consumer = None;
     }
   in
   current := Some c;
@@ -52,6 +57,7 @@ let stop () =
   c
 
 let set_clock f = match !current with Some c -> c.clock <- f | None -> ()
+let set_consumer f = match !current with Some c -> c.consumer <- f | None -> ()
 
 let fnv_prime = 0x100000001b3L
 
@@ -73,7 +79,8 @@ let push c payload =
   Event.encode c.scratch ev;
   c.digest <- digest_bytes c.digest c.scratch;
   (match c.store with Some b -> Buffer.add_buffer b c.scratch | None -> ());
-  c.ring.(ev.Event.seq mod Array.length c.ring) <- Some ev
+  c.ring.(ev.Event.seq mod Array.length c.ring) <- Some ev;
+  match c.consumer with Some f -> f ev | None -> ()
 
 let norm c space raw =
   match Hashtbl.find_opt c.norm (space, raw) with

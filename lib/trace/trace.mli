@@ -34,6 +34,14 @@ val active : unit -> collector option
 val set_clock : (unit -> Sim_time.t) -> unit
 (** No-op when no collector is installed. *)
 
+val set_consumer : (Event.t -> unit) option -> unit
+(** Install (or clear, with [None]) a live event consumer on the
+    current collector: it observes every pushed event after the digest
+    and ring updates, in stream order, with ids already normalized —
+    exactly the events a recording would replay, which is what makes
+    online and offline span reconstruction bit-identical.  One [match]
+    per event when unset; a no-op when no collector is installed. *)
+
 (** {1 Emitters} *)
 
 val access : task:int -> vpn:int -> write:bool -> unit

@@ -82,6 +82,8 @@ let sync_read ?(policy = default_policy) stats ~charge disk ~block ~nblocks =
         if (match err with Disk.Transient _ -> true | _ -> false) && tries < policy.limit
         then begin
           stats.io_retries <- stats.io_retries + 1;
+          (* a not-given-up Io_retry precedes its backoff charge: Span
+             attributes the interval starting here as [Backoff] *)
           Hipec_trace.Trace.io_retry ~block ~write:false ~attempt:(tries + 1)
             ~gave_up:false;
           let delay = backoff policy ~attempt:(tries + 1) in

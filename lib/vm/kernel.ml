@@ -433,6 +433,9 @@ let fault t task region ~vpn ~write =
   let emit kind =
     if Tr.on () || Mx.on () then begin
       let lat = Sim_time.to_ns (Sim_time.sub (now t) t0) in
+      (* the Fault must be the last event of its service window and its
+         latency must span back exactly to t0: Span tiles the window
+         [time - latency, time] from the events between the two *)
       if Tr.on () then Tr.fault ~task:(Task.id task) ~vpn ~kind ~latency_ns:lat;
       if Mx.on () then begin
         Mx.observe (fault_metric kind) lat;

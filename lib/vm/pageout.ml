@@ -86,6 +86,8 @@ let launder t ctx page =
         b
   in
   let frame = Vm_page.frame page in
+  (* Pageout closes the reclaim-scan work that selected this page: Span
+     attributes the interval ending here as [Reclaim] *)
   Hipec_trace.Trace.pageout ~obj:(Vm_object.id obj) ~offset ~block;
   Vm_object.disconnect obj page;
   t.laundry <- t.laundry + 1;

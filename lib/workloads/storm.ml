@@ -35,6 +35,8 @@ type config = {
   fuel_quota : int option;
   fuel_window : Sim_time.t;
   fuel_cooldown : Sim_time.t;
+  slo_ns : int;  (** per-access latency objective *)
+  slo_budget : float;  (** allowed violating fraction of a tenant's accesses *)
 }
 
 let smoke =
@@ -59,6 +61,8 @@ let smoke =
     fuel_quota = Some 200;
     fuel_window = Sim_time.ms 10;
     fuel_cooldown = Sim_time.ms 50;
+    slo_ns = 10_000_000;
+    slo_budget = 0.05;
   }
 
 let full =
@@ -77,6 +81,18 @@ let kind_of config i =
   else if config.greedy_every > 0 && i mod config.greedy_every = 3 mod config.greedy_every
   then Greedy
   else Honest
+
+(* Per-tenant SLO accounting: [burn] is error-budget burn — the
+   tenant's violating fraction divided by the allowed fraction, so
+   burn > 1 means the tenant is out of budget. *)
+type offender = {
+  o_index : int;
+  o_kind : kind;
+  o_samples : int;
+  o_violations : int;
+  o_burn : float;
+  o_worst_ns : int;
+}
 
 type result = {
   elapsed : Sim_time.t;
@@ -99,6 +115,12 @@ type result = {
   honest_p99_ns : int;
   greedy_samples : int;
   greedy_p99_ns : int;
+  slo_ns : int;
+  slo_budget : float;
+  slo_tracked : int;  (* tenants with at least one sample *)
+  slo_over_budget : int;  (* tenants with burn > 1 *)
+  slo_violations : int;  (* accesses over the objective, all tenants *)
+  slo_worst : offender list;  (* descending burn, top 5 *)
   pressure_changes : int;
   peak_level : string;
   final_level : string;
@@ -109,14 +131,8 @@ type result = {
   kstat : string;
 }
 
-(* p-th percentile (0..1) by nearest-rank over a copy of [samples]. *)
-let percentile samples p =
-  match Array.length samples with
-  | 0 -> 0
-  | n ->
-      let sorted = Array.copy samples in
-      Array.sort compare sorted;
-      sorted.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
+(* p-th percentile (0..1) by nearest-rank; the shared sorted core. *)
+let percentile = Stats.Percentile.of_ints
 
 type tenant = {
   index : int;
@@ -223,6 +239,15 @@ let run config =
   in
   let honest_lat = ref [] and honest_n = ref 0 in
   let greedy_lat = ref [] and greedy_n = ref 0 in
+  (* per-tenant SLO books, indexed by tenant number *)
+  let slo_samples = Array.make config.tenants 0 in
+  let slo_violations = Array.make config.tenants 0 in
+  let slo_worst_ns = Array.make config.tenants 0 in
+  let slo_note index dt =
+    slo_samples.(index) <- slo_samples.(index) + 1;
+    if dt > config.slo_ns then slo_violations.(index) <- slo_violations.(index) + 1;
+    if dt > slo_worst_ns.(index) then slo_worst_ns.(index) <- dt
+  in
   let peak = ref Pressure.Normal in
   let note_peak () =
     let l = Kernel.pressure_level kernel in
@@ -255,6 +280,7 @@ let run config =
                 (try Kernel.access_vpn kernel tn.task ~vpn ~write
                  with Kernel.Task_terminated _ -> incr task_kills);
                 let dt = Sim_time.to_ns (Sim_time.sub (Kernel.now kernel) before) in
+                slo_note tn.index dt;
                 (match tn.kind with
                 | Honest ->
                     honest_lat := dt :: !honest_lat;
@@ -292,6 +318,41 @@ let run config =
          (fun tn -> tn.kind = Honest && tn.region <> None && Task.alive tn.task)
          tenants)
   in
+  (* settle the SLO books: burn per tenant, the over-budget count and
+     the worst-offender table (descending burn, ties to lower index) *)
+  let burn_of i =
+    if slo_samples.(i) = 0 then 0.
+    else
+      let rate = float_of_int slo_violations.(i) /. float_of_int slo_samples.(i) in
+      if config.slo_budget > 0. then rate /. config.slo_budget
+      else if rate > 0. then infinity
+      else 0.
+  in
+  let offenders =
+    List.filter_map
+      (fun tn ->
+        if slo_samples.(tn.index) = 0 then None
+        else
+          Some
+            {
+              o_index = tn.index;
+              o_kind = tn.kind;
+              o_samples = slo_samples.(tn.index);
+              o_violations = slo_violations.(tn.index);
+              o_burn = burn_of tn.index;
+              o_worst_ns = slo_worst_ns.(tn.index);
+            })
+      tenants
+  in
+  let worst =
+    List.sort
+      (fun a b -> compare (b.o_burn, a.o_index) (a.o_burn, b.o_index))
+      offenders
+  in
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
   {
     elapsed;
     tenants = config.tenants;
@@ -315,6 +376,12 @@ let run config =
     honest_p99_ns = percentile honest 0.99;
     greedy_samples = !greedy_n;
     greedy_p99_ns = percentile greedy 0.99;
+    slo_ns = config.slo_ns;
+    slo_budget = config.slo_budget;
+    slo_tracked = List.length offenders;
+    slo_over_budget = List.length (List.filter (fun o -> o.o_burn > 1.) offenders);
+    slo_violations = Array.fold_left ( + ) 0 slo_violations;
+    slo_worst = take 5 (List.filter (fun o -> o.o_violations > 0) worst);
     pressure_changes =
       (match Kernel.pressure kernel with Some p -> Pressure.changes p | None -> 0);
     peak_level = Pressure.level_name !peak;
@@ -333,7 +400,20 @@ let pp_result fmt r =
      faults             %d (%.0f/s)@,\
      honest latency     p50 %d ns, p99 %d ns (%d samples)@,\
      greedy latency     p99 %d ns (%d samples)@,\
-     task kills         %d@,\
+     slo                %d ns objective, %.1f%% budget: %d tracked, %d over budget, \
+     %d violations@,"
+    Sim_time.pp r.elapsed r.tenants r.admitted r.shed r.honest_alive r.total_faults
+    r.faults_per_sec r.honest_p50_ns r.honest_p99_ns r.honest_samples r.greedy_p99_ns
+    r.greedy_samples r.slo_ns
+    (100. *. r.slo_budget)
+    r.slo_tracked r.slo_over_budget r.slo_violations;
+  List.iter
+    (fun o ->
+      Format.fprintf fmt "  t%04d %-6s       burn %5.2fx (%d/%d over, worst %d ns)@,"
+        o.o_index (kind_name o.o_kind) o.o_burn o.o_violations o.o_samples o.o_worst_ns)
+    r.slo_worst;
+  Format.fprintf fmt
+    "task kills         %d@,\
      demotions          %d@,\
      throttles          %d entered, %d exited@,\
      emergency seizure  %d events, %d frames@,\
@@ -342,9 +422,7 @@ let pp_result fmt r =
      auditor            %d sweeps, %d violations@,\
      conservation       %s@,\
      digest             %s@]"
-    Sim_time.pp r.elapsed r.tenants r.admitted r.shed r.honest_alive r.total_faults
-    r.faults_per_sec r.honest_p50_ns r.honest_p99_ns r.honest_samples r.greedy_p99_ns
-    r.greedy_samples r.task_kills r.demotions r.throttles_entered r.throttles_exited
+    r.task_kills r.demotions r.throttles_entered r.throttles_exited
     r.emergency_seizures r.emergency_frames r.admissions_queued r.admissions_rejected
     r.pressure_changes r.peak_level r.final_level r.audit_sweeps r.audit_violations
     (if r.conservation_ok then "ok" else "VIOLATED")

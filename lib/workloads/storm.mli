@@ -50,6 +50,10 @@ type config = {
   fuel_quota : int option;  (** commands per window; [None] = executor-derived default *)
   fuel_window : Sim_time.t;
   fuel_cooldown : Sim_time.t;
+  slo_ns : int;  (** per-access latency objective *)
+  slo_budget : float;
+      (** the error budget: the fraction of a tenant's accesses allowed
+          over the objective before it counts as out of budget *)
 }
 
 val smoke : config
@@ -59,6 +63,18 @@ val full : config
 (** 1000 tenants on a 12k-frame machine — the acceptance scenario. *)
 
 val kind_of : config -> int -> kind
+
+(** One tenant's SLO ledger: [o_burn] is error-budget burn — the
+    violating fraction of its accesses divided by [slo_budget], so
+    burn > 1 means the tenant blew its budget. *)
+type offender = {
+  o_index : int;
+  o_kind : kind;
+  o_samples : int;
+  o_violations : int;
+  o_burn : float;
+  o_worst_ns : int;
+}
 
 type result = {
   elapsed : Sim_time.t;
@@ -81,6 +97,12 @@ type result = {
   honest_p99_ns : int;  (** p99 access latency across all honest tenants *)
   greedy_samples : int;
   greedy_p99_ns : int;
+  slo_ns : int;
+  slo_budget : float;
+  slo_tracked : int;  (** tenants with at least one timed access *)
+  slo_over_budget : int;  (** tenants whose burn exceeds 1 *)
+  slo_violations : int;  (** accesses over the objective, all tenants *)
+  slo_worst : offender list;  (** descending burn, top 5, violators only *)
   pressure_changes : int;
   peak_level : string;
   final_level : string;

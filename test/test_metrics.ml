@@ -266,6 +266,184 @@ let check_backends_agree name () =
   | _ -> Alcotest.fail "a backend left no profile"
 
 (* ------------------------------------------------------------------ *)
+(* Prometheus exposition lint                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A small checker for the text exposition format (v0.0.4): every line
+   is a # HELP/# TYPE header or a sample; every family is declared by
+   exactly one HELP+TYPE pair before its samples; a family's samples
+   are contiguous; metric names are legal; label blocks parse with
+   properly quoted and escaped values. *)
+let lint_prom exposition =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let name_ok n =
+    n <> ""
+    && (match n.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+    && String.for_all
+         (fun c ->
+           match c with
+           | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+           | _ -> false)
+         n
+  in
+  let typed = Hashtbl.create 16 (* family -> kind *) in
+  let helped = Hashtbl.create 16 in
+  let closed = Hashtbl.create 16 (* families whose sample run ended *) in
+  let last_family = ref "" in
+  (* histogram children belong to the declared family *)
+  let family_of n =
+    let strip suffix =
+      if Filename.check_suffix n suffix then
+        let f = String.sub n 0 (String.length n - String.length suffix) in
+        if Hashtbl.mem typed f then Some f else None
+      else None
+    in
+    match strip "_bucket" with
+    | Some f -> f
+    | None -> (
+        match strip "_sum" with
+        | Some f -> f
+        | None -> ( match strip "_count" with Some f -> f | None -> n))
+  in
+  (* validate one {k="v",...} label block *)
+  let check_labels line block =
+    let n = String.length block in
+    let i = ref 0 in
+    let fail msg = err "%s: %s" line msg; i := n in
+    while !i < n do
+      let start = !i in
+      while !i < n && block.[!i] <> '=' do incr i done;
+      if !i >= n then fail "label missing '='"
+      else begin
+        let key = String.sub block start (!i - start) in
+        if not (name_ok key) then fail (Printf.sprintf "bad label name %S" key);
+        incr i;
+        if !i >= n || block.[!i] <> '"' then fail "label value not quoted"
+        else begin
+          incr i;
+          let fin = ref false in
+          while (not !fin) && !i < n do
+            match block.[!i] with
+            | '\\' ->
+                if
+                  !i + 1 >= n
+                  || not (List.mem block.[!i + 1] [ '\\'; '"'; 'n' ])
+                then fail "invalid escape in label value"
+                else i := !i + 2
+            | '"' ->
+                fin := true;
+                incr i
+            | '\n' -> fail "raw newline in label value"
+            | _ -> incr i
+          done;
+          if not !fin then fail "unterminated label value"
+          else if !i < n then
+            if block.[!i] = ',' then incr i else fail "junk after label value"
+        end
+      end
+    done
+  in
+  List.iter
+    (fun line ->
+      if line = "" then ()
+      else if String.length line > 7 && String.sub line 0 7 = "# HELP " then begin
+        let rest = String.sub line 7 (String.length line - 7) in
+        let fam = try String.sub rest 0 (String.index rest ' ') with Not_found -> rest in
+        if not (name_ok fam) then err "%s: bad family name" line;
+        if Hashtbl.mem helped fam then err "%s: duplicate HELP" line;
+        Hashtbl.replace helped fam ()
+      end
+      else if String.length line > 7 && String.sub line 0 7 = "# TYPE " then begin
+        match String.split_on_char ' ' (String.sub line 7 (String.length line - 7)) with
+        | [ fam; kind ] ->
+            if not (name_ok fam) then err "%s: bad family name" line;
+            if not (List.mem kind [ "counter"; "gauge"; "histogram"; "summary" ]) then
+              err "%s: unknown type %S" line kind;
+            if Hashtbl.mem typed fam then err "%s: duplicate TYPE" line;
+            if not (Hashtbl.mem helped fam) then err "%s: TYPE without HELP" line;
+            Hashtbl.replace typed fam kind
+        | _ -> err "%s: malformed TYPE line" line
+      end
+      else if line.[0] = '#' then err "%s: unknown comment form" line
+      else begin
+        (* sample: name[{labels}] value *)
+        let brace = String.index_opt line '{' in
+        let name, rest =
+          match brace with
+          | Some i -> (String.sub line 0 i, String.sub line i (String.length line - i))
+          | None -> (
+              match String.index_opt line ' ' with
+              | Some i ->
+                  (String.sub line 0 i, String.sub line i (String.length line - i))
+              | None -> (line, ""))
+        in
+        if not (name_ok name) then err "%s: bad metric name" line;
+        let fam = family_of name in
+        if not (Hashtbl.mem typed fam) then err "%s: sample without TYPE" line;
+        if Hashtbl.mem closed fam then err "%s: family %s not contiguous" line fam;
+        if fam <> !last_family then begin
+          if !last_family <> "" then Hashtbl.replace closed !last_family ();
+          last_family := fam
+        end;
+        (match brace with
+        | Some _ -> (
+            match String.rindex_opt rest '}' with
+            | None -> err "%s: unterminated label block" line
+            | Some j ->
+                check_labels line (String.sub rest 1 (j - 1));
+                let v = String.trim (String.sub rest (j + 1) (String.length rest - j - 1)) in
+                if v = "" || float_of_string_opt v = None then
+                  err "%s: bad sample value %S" line v)
+        | None ->
+            let v = String.trim rest in
+            if v = "" || float_of_string_opt v = None then
+              err "%s: bad sample value %S" line v)
+      end)
+    (String.split_on_char '\n' exposition);
+  List.rev !errors
+
+let test_prom_exposition () =
+  (* a registry exercising every metric kind, plus label values that
+     need escaping (a backend name and opcode names with quotes,
+     backslashes and newlines) *)
+  let reg = Mx.install ~tick_ns:100 () in
+  Fun.protect
+    ~finally:(fun () -> ignore (Mx.uninstall ()))
+    (fun () ->
+      Mx.incr "lint.counter";
+      Mx.gauge_set "lint-gauge.dots" 7;
+      Mx.observe "lint.lat" 3;
+      Mx.observe "lint.lat" 3_000;
+      Mx.Registry.sample reg "lint.series" ~now_ns:0 1;
+      let run =
+        Option.get (Mx.profile_begin ~backend:"we\"ird\\back\nend" ~container:0 ~sim_ns:0)
+      in
+      Mx.profile_step run ~opcode:3 ~sim_ns:10;
+      Mx.profile_end run ~sim_ns:20);
+  let text =
+    Mx.Registry.to_prom ~opcode_name:(fun i -> Printf.sprintf "op\"%d\"\\n" i) reg
+  in
+  (match lint_prom text with
+  | [] -> ()
+  | errs -> Alcotest.failf "exposition lint:\n%s" (String.concat "\n" errs));
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "backend label escaped" true
+    (contains text "backend=\"we\\\"ird\\\\back\\nend\"");
+  Alcotest.(check bool) "HELP emitted" true (contains text "# HELP hipec_lint_counter ")
+
+(* and the real thing: the policy scenario's exposition must lint *)
+let test_prom_scenario_lints () =
+  let reg = run_scenario_under_registry "policy" in
+  match lint_prom (Mx.Registry.to_prom reg) with
+  | [] -> ()
+  | errs -> Alcotest.failf "exposition lint:\n%s" (String.concat "\n" errs)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
@@ -290,6 +468,11 @@ let () =
         ] );
       ( "determinism",
         [ Alcotest.test_case "seeded snapshot byte-stable" `Quick test_snapshot_deterministic ] );
+      ( "exposition",
+        [
+          Alcotest.test_case "format lints with escaping" `Quick test_prom_exposition;
+          Alcotest.test_case "policy scenario lints" `Quick test_prom_scenario_lints;
+        ] );
       ( "profiler",
         [
           Alcotest.test_case "boundary-timer attribution" `Quick test_profiler_attribution;

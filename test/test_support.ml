@@ -1,33 +1,33 @@
 (* Shared helpers for the test executables (every module in test/ links
    into each test binary, so this needs no dune wiring).
 
-   The two nearest-rank percentile references below were previously
-   duplicated ad hoc between test_storm.ml and the stats consumers in
-   test_metrics.ml; the adversary tests use them too.  Each mirrors the
-   exact semantics of the production helper it checks, implemented
-   independently so a bug in the production code can't hide. *)
+   The two nearest-rank percentile helpers below pin the *rank
+   conventions* the production code promises: [percentile] mirrors
+   [Storm.percentile] (rounded index, p in 0..1) and [percentile_exact]
+   mirrors [Stats.Summary.percentile] (1-based ceil rank, p in 0..100).
+   All three production entry points and these references now route
+   through the one shared core, [Stats.Percentile.nearest_rank] —
+   only the rank arithmetic lives here, spelled out independently so a
+   broken convention in the wrappers can't hide. *)
 
 (* Nearest-rank percentile over int samples, [p] in 0..1 — the
    reference for [Storm.percentile]: sorted.(round (p * (n-1))),
    0 on empty input. *)
 let percentile (samples : int array) p =
-  match Array.length samples with
-  | 0 -> 0
-  | n ->
-      let sorted = Array.copy samples in
-      Array.sort compare sorted;
-      sorted.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
+  match
+    Hipec_sim.Stats.Percentile.nearest_rank samples ~rank_of:(fun n ->
+        int_of_float ((p *. float_of_int (n - 1)) +. 0.5))
+  with
+  | Some v -> v
+  | None -> 0
 
 (* Nearest-rank percentile over float samples, [p] in 0..100 — the
    reference for [Stats.Summary.percentile]: rank = ceil(p/100 * n)
    clamped to 1..n, 0 on empty input. *)
 let percentile_exact (samples : float array) p =
-  let n = Array.length samples in
-  if n = 0 then 0.
-  else begin
-    let s = Array.copy samples in
-    Array.sort compare s;
-    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
-    let rank = Stdlib.max 1 (Stdlib.min n rank) in
-    s.(rank - 1)
-  end
+  match
+    Hipec_sim.Stats.Percentile.nearest_rank samples ~rank_of:(fun n ->
+        int_of_float (ceil (p /. 100. *. float_of_int n)) - 1)
+  with
+  | Some v -> v
+  | None -> 0.
